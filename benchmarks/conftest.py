@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as the experiment regeneration harness: each
+``test_bench_table*`` module times representative cells of the paper's
+tables at laptop scale and asserts the modal max load agrees with the
+published value (the timing result is the throughput; the assertion is
+the reproduction).  Paper-scale sweeps are run through
+``python -m repro.experiments <table> --full``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return 20030206

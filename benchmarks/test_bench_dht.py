@@ -1,0 +1,84 @@
+"""DHT benchmarks: routing and insertion costs of the application layer."""
+
+import numpy as np
+import pytest
+
+from repro.dht.chord import ChordRing
+from repro.dht.twochoice import TwoChoiceDHT
+from repro.dht.workload import generate_keys
+
+N = 1024
+
+
+@pytest.fixture(scope="module")
+def ring():
+    r = ChordRing.random(N, seed=0)
+    r.finger_table()  # build outside the timed region
+    return r
+
+
+def test_chord_lookup(benchmark, ring):
+    rng = np.random.default_rng(1)
+    idents = rng.integers(0, 1 << 63, size=512).astype(np.uint64) * np.uint64(2)
+    starts = rng.integers(0, N, size=512)
+
+    def route_all():
+        hops = 0
+        for ident, start in zip(idents, starts):
+            hops += ring.lookup(int(ident), int(start)).hops
+        return hops / idents.size
+
+    mean_hops = benchmark(route_all)
+    assert mean_hops <= np.log2(N)
+
+
+def test_finger_table_build(benchmark):
+    ring = ChordRing.random(N, seed=2)
+
+    def rebuild():
+        ring._fingers = None
+        return ring.finger_table()
+
+    fingers = benchmark(rebuild)
+    assert fingers.shape == (N, 64)
+
+
+def test_two_choice_insert_throughput(benchmark, ring):
+    keys = generate_keys(500, seed=3)
+
+    def insert_all():
+        dht = TwoChoiceDHT(ring, d=2, seed=4)
+        for k in keys:
+            dht.insert(k)
+        return dht
+
+    dht = benchmark(insert_all)
+    assert dht.loads().sum() == 500
+
+
+def test_can_routing(benchmark):
+    from repro.dht.can import CanNetwork
+
+    can = CanNetwork.random(256, seed=5)
+    can.neighbors(0)  # build adjacency outside the timed region
+    rng = np.random.default_rng(6)
+    points = rng.random((128, 2))
+    starts = rng.integers(0, can.n, size=128)
+
+    def route_all():
+        return sum(
+            can.route(p, int(s)).hops for p, s in zip(points, starts)
+        ) / len(points)
+
+    mean_hops = benchmark(route_all)
+    # CAN bound ~ (k/2) n^{1/k} = 16 for k=2, n=256
+    assert mean_hops <= 2 * 16
+
+
+def test_can_space_placement(benchmark):
+    from repro.core.placement import place_balls
+    from repro.dht.can import CanSpace
+
+    space = CanSpace.random(1024, seed=7)
+    res = benchmark(lambda: place_balls(space, 1024, 2, seed=8))
+    assert res.loads.sum() == 1024

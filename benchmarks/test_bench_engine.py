@@ -1,0 +1,68 @@
+"""Engine throughput benchmarks: the guide's "measure before optimizing".
+
+Times the two engines and the geometry substrate primitives so
+regressions in the vectorization are caught as numbers, not vibes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_batched, run_sequential
+from repro.core.ring import RingSpace
+from repro.core.strategies import TieBreak
+from repro.core.torus import TorusSpace
+from repro.utils.rng import resolve_rng
+
+N = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def big_ring():
+    return RingSpace.random(N, seed=0)
+
+
+@pytest.fixture(scope="module")
+def big_torus():
+    return TorusSpace.random(N, seed=0)
+
+
+def test_ring_batched_engine(benchmark, big_ring):
+    loads = benchmark(
+        lambda: run_batched(big_ring, N, 2, TieBreak.RANDOM, resolve_rng(1))[0]
+    )
+    assert loads.sum() == N
+
+
+def test_ring_sequential_engine(benchmark, big_ring):
+    m = N // 8  # the reference loop is ~1.5x slower; keep rounds short
+    loads = benchmark(
+        lambda: run_sequential(big_ring, m, 2, TieBreak.RANDOM, resolve_rng(1))[0]
+    )
+    assert loads.sum() == m
+
+
+def test_torus_batched_engine(benchmark, big_torus):
+    loads = benchmark(
+        lambda: run_batched(big_torus, N, 2, TieBreak.RANDOM, resolve_rng(1))[0]
+    )
+    assert loads.sum() == N
+
+
+def test_ring_assign_throughput(benchmark, big_ring):
+    queries = np.random.default_rng(2).random(1 << 20)
+    owners = benchmark(big_ring.assign, queries)
+    assert owners.shape == queries.shape
+
+
+def test_torus_assign_throughput(benchmark, big_torus):
+    queries = np.random.default_rng(3).random((1 << 18, 2))
+    owners = benchmark(big_torus.assign, queries)
+    assert owners.shape == (queries.shape[0],)
+
+
+def test_smaller_strategy_overhead(benchmark, big_ring):
+    """Measure the cost of measure-aware tie-breaking."""
+    loads = benchmark(
+        lambda: run_batched(big_ring, N // 4, 2, TieBreak.SMALLER, resolve_rng(4))[0]
+    )
+    assert loads.sum() == N // 4

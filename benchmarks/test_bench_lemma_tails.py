@@ -1,0 +1,43 @@
+"""Benchmark + validation of the geometric machinery (Figure 1 / Lemmas).
+
+Times toroidal Voronoi area computation, the six-sector census and the
+spacing sampler, asserting the lemma invariants on the way (this is the
+`fig1_lemma8` experiment's hot path).
+"""
+
+import numpy as np
+
+from repro.geo2d.voronoi import monte_carlo_region_measures, toroidal_voronoi_areas
+from repro.experiments.lemma_validation import _count_empty_sectors
+from repro.theory.arcs import expected_arcs_at_least, sample_spacings
+from repro.theory.voronoi_tails import expected_large_regions_bound
+
+N = 2048
+
+
+def test_voronoi_areas(benchmark):
+    pts = np.random.default_rng(0).random((N, 2))
+    areas = benchmark(toroidal_voronoi_areas, pts)
+    assert areas.sum() == 1.0 or abs(areas.sum() - 1.0) < 1e-9
+
+
+def test_monte_carlo_measures(benchmark):
+    pts = np.random.default_rng(1).random((N, 2))
+    mc = benchmark(monte_carlo_region_measures, pts, 100_000, 2)
+    assert abs(mc.sum() - 1.0) < 1e-9
+
+
+def test_empty_sector_census(benchmark):
+    pts = np.random.default_rng(2).random((N, 2))
+    rng = np.random.default_rng(3)
+    z = benchmark(_count_empty_sectors, pts, 3.0, rng)
+    # E[Z] bound from Lemma 8's chain, with generous single-instance slack
+    assert z <= 1.5 * expected_large_regions_bound(3.0, N)
+
+
+def test_spacing_sampler(benchmark):
+    spacings = benchmark(sample_spacings, N, 200, 4)
+    assert spacings.shape == (200, N)
+    # Lemma 4's expectation, sanity-checked in passing
+    mean_count = float((spacings >= 3.0 / N).sum(axis=1).mean())
+    assert mean_count < 2 * expected_arcs_at_least(3.0, N, bound=True)

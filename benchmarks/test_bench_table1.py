@@ -1,0 +1,43 @@
+"""Benchmark + regeneration of Table 1 cells (ring, m = n).
+
+Each benchmark times a batch of trials for one (n, d) cell; the
+asserted mode reproduces the paper's published value for that cell.
+"""
+
+import pytest
+
+from repro.experiments.paper_data import PAPER_TABLE1, paper_distribution
+from repro.stats.trials import CellSpec, run_cell
+
+TRIALS = 25
+
+
+def _cell(n, d, seed):
+    return run_cell(CellSpec("ring", n, d), TRIALS, seed=seed)
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 4])
+def test_table1_n256(benchmark, bench_seed, d):
+    dist = benchmark(_cell, 2**8, d, bench_seed + d)
+    paper_mode = paper_distribution(PAPER_TABLE1[2**8][d]).mode
+    tolerance = 2 if d == 1 else 1
+    assert abs(dist.mode - paper_mode) <= tolerance
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 4])
+def test_table1_n4096(benchmark, bench_seed, d):
+    dist = benchmark(_cell, 2**12, d, bench_seed + 10 + d)
+    paper_mode = paper_distribution(PAPER_TABLE1[2**12][d]).mode
+    tolerance = 2 if d == 1 else 1
+    assert abs(dist.mode - paper_mode) <= tolerance
+
+
+def test_table1_n65536_d2(benchmark, bench_seed):
+    """The paper's mid-size cell: mode 5 at n = 2^16, d = 2."""
+    dist = benchmark.pedantic(
+        lambda: run_cell(CellSpec("ring", 2**16, 2), 5, seed=bench_seed),
+        rounds=3,
+        iterations=1,
+    )
+    paper_mode = paper_distribution(PAPER_TABLE1[2**16][2]).mode
+    assert abs(dist.mode - paper_mode) <= 1

@@ -1,0 +1,28 @@
+"""Benchmark + regeneration of Table 2 cells (torus, m = n)."""
+
+import pytest
+
+from repro.experiments.paper_data import PAPER_TABLE2, paper_distribution
+from repro.stats.trials import CellSpec, run_cell
+
+TRIALS = 25
+
+
+def _cell(n, d, seed):
+    return run_cell(CellSpec("torus", n, d), TRIALS, seed=seed)
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 4])
+def test_table2_n256(benchmark, bench_seed, d):
+    dist = benchmark(_cell, 2**8, d, bench_seed + 20 + d)
+    paper_mode = paper_distribution(PAPER_TABLE2[2**8][d]).mode
+    tolerance = 2 if d == 1 else 1
+    assert abs(dist.mode - paper_mode) <= tolerance
+
+
+@pytest.mark.parametrize("d", [1, 2])
+def test_table2_n4096(benchmark, bench_seed, d):
+    dist = benchmark(_cell, 2**12, d, bench_seed + 30 + d)
+    paper_mode = paper_distribution(PAPER_TABLE2[2**12][d]).mode
+    tolerance = 2 if d == 1 else 1
+    assert abs(dist.mode - paper_mode) <= tolerance

@@ -1,0 +1,38 @@
+"""Benchmark + regeneration of Table 3 (tie-breaking strategies, d = 2).
+
+Besides per-strategy timing, the module-scope assertion reproduces the
+paper's strategy ordering: smaller <= left < random <= larger.
+"""
+
+import pytest
+
+from repro.experiments.paper_data import PAPER_TABLE3, paper_distribution
+from repro.experiments.table3 import STRATEGIES
+from repro.stats.trials import CellSpec, run_cell
+
+TRIALS = 30
+N = 2**8
+
+
+def _cell(strategy_name, seed):
+    tiebreak, partitioned = STRATEGIES[strategy_name]
+    spec = CellSpec("ring", N, 2, strategy=tiebreak, partitioned=partitioned)
+    return run_cell(spec, TRIALS, seed=seed)
+
+
+@pytest.mark.parametrize("name", list(STRATEGIES))
+def test_table3_strategy(benchmark, bench_seed, name):
+    dist = benchmark(_cell, name, bench_seed + hash(name) % 1000)
+    paper_mode = paper_distribution(PAPER_TABLE3[N][name]).mode
+    assert abs(dist.mode - paper_mode) <= 1
+
+
+def test_table3_ordering(bench_seed):
+    """The paper's Section 4 finding, regenerated (no timing)."""
+    means = {
+        name: _cell(name, bench_seed + 100 + i).mean
+        for i, name in enumerate(STRATEGIES)
+    }
+    assert means["arc-smaller"] <= means["arc-random"] + 0.15
+    assert means["arc-random"] <= means["arc-larger"] + 0.15
+    assert means["arc-left"] <= means["arc-larger"] + 0.15

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The bank/ATM example: 2-D nearest-neighbor assignment with choices.
+
+Paper, Section 1.1: a bank assigns each customer a "base" teller
+machine — the machine nearest their home, or, with two choices, the
+less loaded of the machines nearest home and work.  We run the model
+with uniform demand (the analyzed case) and clustered demand (footnote
+2's "highly non-uniform" caveat) to show the benefit survives.
+
+Usage::
+
+    python examples/atm_placement.py [n_machines] [n_customers]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.geo2d.atm import AtmAssignmentModel
+from repro.geo2d.pointsets import clustered_points, uniform_points
+
+
+def run_case(model, home, work, label):
+    one = model.assign(home, seed=5)
+    two = model.assign(np.stack([home, work], axis=1), seed=5)
+    smaller = model.assign(
+        np.stack([home, work], axis=1), strategy="smaller", seed=5
+    )
+    print(f"{label}:")
+    print(
+        f"  home only (d=1)        max={one.max_load:>4}  "
+        f"max/mean={one.imbalance:.2f}"
+    )
+    print(
+        f"  home or work (d=2)     max={two.max_load:>4}  "
+        f"max/mean={two.imbalance:.2f}"
+    )
+    print(
+        f"  d=2, smaller-cell ties max={smaller.max_load:>4}  "
+        f"max/mean={smaller.imbalance:.2f}"
+    )
+    print()
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    m = int(sys.argv[2]) if len(sys.argv) > 2 else 20 * n
+    print(f"{n} teller machines, {m} customers on the unit torus\n")
+
+    model = AtmAssignmentModel(uniform_points(n, seed=0))
+
+    run_case(
+        model,
+        uniform_points(m, seed=1),
+        uniform_points(m, seed=2),
+        "uniform demand (the analyzed model)",
+    )
+    run_case(
+        model,
+        clustered_points(m, n_clusters=6, spread=0.06, seed=3),
+        clustered_points(m, n_clusters=6, spread=0.06, seed=4),
+        "clustered demand (footnote 2: city neighborhoods)",
+    )
+    print(
+        "Reading: two choices sharply reduces the worst machine's queue "
+        "in both regimes; tie-breaking toward the smaller Voronoi cell "
+        "(the paper's heuristic) shaves a bit more."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Two choices under churn: the paper's open systems question, measured.
+
+The paper's conclusion flags "how to apply [two choices] while
+maintaining reliability" as future work.  This example equips the Chord
+substrate with successor lists (the standard reliability mechanism),
+fails progressively larger random fractions of the network, and
+measures:
+
+* lookup availability and hop inflation (routing detours), and
+* how the two-choice load balance looks when failed nodes hand their
+  items to their live successors.
+
+Usage::
+
+    python examples/churn_resilience.py [n_servers]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import multi_hash
+from repro.dht.resilience import ResilientChord
+from repro.dht.workload import generate_keys
+
+
+def surviving_loads(rc: ResilientChord, keys, d: int) -> np.ndarray:
+    """Re-place keys on the live network with d-choice insertion."""
+    loads = np.zeros(rc.ring.n, dtype=np.int64)
+    for key in keys:
+        owners = [rc.live_owner(int(i)) for i in multi_hash(key, d)]
+        best = min(owners, key=lambda o: loads[o])
+        loads[best] += 1
+    live = loads[rc.alive]
+    return live
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    keys = generate_keys(10 * n, seed=1)
+    print(f"{n} servers, {len(keys)} keys, successor lists of length "
+          f"{ResilientChord(ChordRing.random(n, seed=0)).r}\n")
+
+    print(f"{'failed':>8} {'avail':>7} {'hops':>6} "
+          f"{'max d=1':>8} {'max d=2':>8}")
+    print("-" * 42)
+    for frac in (0.0, 0.1, 0.25, 0.5):
+        rc = ResilientChord(ChordRing.random(n, seed=0))
+        fail_count = int(frac * n)
+        if fail_count:
+            report = rc.churn_episode(fail_count, lookups=300, seed=42)
+            avail, hops = report.availability, report.mean_hops
+        else:
+            avail, hops = 1.0, float("nan")
+        max1 = surviving_loads(rc, keys, d=1).max()
+        max2 = surviving_loads(rc, keys, d=2).max()
+        print(f"{fail_count:>8} {avail:>7.2%} {hops:>6.1f} "
+              f"{max1:>8} {max2:>8}")
+
+    print(
+        "\nReading: successor lists keep lookups available through heavy "
+        "failures, and the two-choice balance advantage persists as "
+        "failed nodes shed load onto their live successors (d=2 max "
+        "stays well below d=1 max at every failure level)."
+    )
+
+
+if __name__ == "__main__":
+    main()

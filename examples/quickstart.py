@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: the power of two choices on geometric spaces.
+
+Runs the paper's core experiment at a small size: place n items on n
+servers arranged on a ring (consistent hashing) and on a 2-D torus, and
+watch the maximum load collapse from Theta(log n) to log log n / log d
+as soon as each item gets a second choice.
+
+Usage::
+
+    python examples/quickstart.py [n]
+"""
+
+import sys
+
+from repro import RingSpace, TorusSpace, place_balls
+from repro.baselines.uniform import UniformSpace
+from repro.theory.fluid import fluid_predicted_max_load
+from repro.theory.recursion import theorem1_leading_term
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 14
+    print(f"n = {n} servers, m = {n} items\n")
+
+    spaces = {
+        "ring (random arcs)": RingSpace.random(n, seed=1),
+        "torus (Voronoi cells)": TorusSpace.random(n, seed=2),
+        "uniform bins (ABKU)": UniformSpace(n),
+    }
+
+    header = f"{'space':<24}" + "".join(f"d={d:<6}" for d in (1, 2, 3, 4))
+    print(header)
+    print("-" * len(header))
+    for name, space in spaces.items():
+        row = f"{name:<24}"
+        for d in (1, 2, 3, 4):
+            res = place_balls(space, n, d, seed=100 + d)
+            row += f"{res.max_load:<8}"
+        print(row)
+
+    print()
+    print("theory (d >= 2):")
+    for d in (2, 3, 4):
+        print(
+            f"  d={d}: log log n / log d = {theorem1_leading_term(n, d):.2f}, "
+            f"fluid-limit prediction = {fluid_predicted_max_load(n, d)}"
+        )
+    print(
+        "\nReading: the d=1 column grows with n (rerun with a larger n!) "
+        "while d>=2 stays flat -- Theorem 1's geometric power of two "
+        "choices."
+    )
+
+
+if __name__ == "__main__":
+    main()

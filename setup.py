@@ -1,0 +1,7 @@
+"""Legacy shim: enables `pip install -e . --no-use-pep517` in offline
+environments where the PEP-660 editable path (which needs the `wheel`
+package) is unavailable.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

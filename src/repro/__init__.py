@@ -1,0 +1,41 @@
+"""repro: Geometric Generalizations of the Power of Two Choices.
+
+A production-quality reproduction of Byers, Considine & Mitzenmacher's
+paper on nearest-neighbor load balancing: the classical d-choice
+balls-into-bins process run over bins induced by random points in a
+geometric space (arcs on the 1-D ring, Voronoi cells on the k-D torus),
+plus the theory toolkit (tail bounds, the layered-induction recursion),
+the baselines it is compared against (uniform ABKU bins, Vöcking's
+Always-Go-Left, Chord virtual servers), the motivating applications
+(a Chord-style DHT; the 2-D ATM assignment model), and a harness that
+regenerates every table in the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import RingSpace, place_balls
+>>> ring = RingSpace.random(1024, seed=0)
+>>> one = place_balls(ring, m=1024, d=1, seed=1).max_load
+>>> two = place_balls(ring, m=1024, d=2, seed=1).max_load
+>>> bool(one >= two)
+True
+"""
+
+from repro._version import __version__
+from repro.core import (
+    GeometricSpace,
+    PlacementResult,
+    RingSpace,
+    TieBreak,
+    TorusSpace,
+    place_balls,
+)
+
+__all__ = [
+    "__version__",
+    "GeometricSpace",
+    "RingSpace",
+    "TorusSpace",
+    "TieBreak",
+    "PlacementResult",
+    "place_balls",
+]

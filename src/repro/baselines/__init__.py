@@ -1,0 +1,39 @@
+"""Baselines the paper compares against (or builds upon).
+
+* :mod:`repro.baselines.uniform` — the classical Azar-Broder-Karlin-
+  Upfal setting: every bin equally likely.  Theorem 1's result is that
+  the geometric spaces match this gold standard.
+* :mod:`repro.baselines.vocking` — Vöcking's Always-Go-Left scheme and
+  its ``log log n / (d log phi_d)`` bound.
+* :mod:`repro.baselines.virtual_servers` — Chord's virtual-server
+  remedy for consistent-hashing imbalance: each physical server owns
+  Θ(log n) random arcs.  The paper argues two choices is the simpler,
+  cheaper alternative.
+* :mod:`repro.baselines.single_choice` — the d = 1 regimes on both
+  uniform and geometric bins (Θ(log n / log log n) vs Θ(log n)).
+"""
+
+from repro.baselines.uniform import UniformSpace, abku_max_load
+from repro.baselines.vocking import (
+    always_go_left,
+    dbonacci_growth_rate,
+    vocking_bound,
+)
+from repro.baselines.virtual_servers import VirtualServerRing
+from repro.baselines.single_choice import (
+    geometric_d1_scale,
+    simulate_single_choice,
+    uniform_d1_scale,
+)
+
+__all__ = [
+    "UniformSpace",
+    "abku_max_load",
+    "always_go_left",
+    "vocking_bound",
+    "dbonacci_growth_rate",
+    "VirtualServerRing",
+    "simulate_single_choice",
+    "uniform_d1_scale",
+    "geometric_d1_scale",
+]

@@ -1,0 +1,37 @@
+"""Core of the paper's contribution: geometric d-choice load balancing.
+
+The pipeline is::
+
+    space = RingSpace.random(n, seed)         # or TorusSpace.random(n, ...)
+    result = place_balls(space, m=n, d=2)      # greedy least-loaded insertion
+    result.max_load                            # the statistic in Tables 1-3
+
+``place_balls`` is a facade over two interchangeable engines (an exact
+sequential reference and a conflict-free-prefix vectorized engine) that
+produce bit-identical results; see :mod:`repro.core.engine`.
+"""
+
+from repro.core.spaces import GeometricSpace
+from repro.core.ring import RingSpace
+from repro.core.torus import TorusSpace
+from repro.core.strategies import TieBreak
+from repro.core.placement import PlacementResult, place_balls
+from repro.core.rounds import place_balls_in_rounds
+from repro.core.loads import (
+    height_counts_from_loads,
+    load_histogram,
+    nu_profile,
+)
+
+__all__ = [
+    "GeometricSpace",
+    "RingSpace",
+    "TorusSpace",
+    "TieBreak",
+    "PlacementResult",
+    "place_balls",
+    "place_balls_in_rounds",
+    "load_histogram",
+    "nu_profile",
+    "height_counts_from_loads",
+]

@@ -1,0 +1,94 @@
+"""Load-vector statistics shared by simulation and theory.
+
+Terminology follows the paper's proof of Theorem 1:
+
+* the **load** of a bin is the number of balls it holds;
+* the **height** of a ball is its 1-based position in its bin's stack;
+* ``nu_i`` (ν_i) is the number of bins with load **at least** ``i``;
+* the number of balls of height at least ``i`` equals ``nu_i`` summed
+  over thresholds, and the number of balls at height exactly ``h``
+  equals the number of bins with load ≥ h.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "load_histogram",
+    "nu_profile",
+    "height_counts_from_loads",
+    "max_load",
+    "load_imbalance",
+]
+
+
+def _as_loads(loads) -> np.ndarray:
+    arr = np.asarray(loads)
+    if arr.ndim != 1:
+        raise ValueError(f"loads must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("loads must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("loads must be non-negative")
+    return arr.astype(np.int64, copy=False)
+
+
+def load_histogram(loads) -> np.ndarray:
+    """``hist[k]`` = number of bins holding exactly ``k`` balls.
+
+    Examples
+    --------
+    >>> load_histogram([0, 2, 2, 1]).tolist()
+    [1, 1, 2]
+    """
+    arr = _as_loads(loads)
+    return np.bincount(arr)
+
+
+def nu_profile(loads) -> np.ndarray:
+    """``nu[i]`` = number of bins with load **at least** ``i``.
+
+    ``nu[0] == n`` and ``nu[max_load]`` is the number of fullest bins.
+    This is the ν_i of the layered-induction argument, evaluated at the
+    end of the process.
+
+    Examples
+    --------
+    >>> nu_profile([0, 2, 2, 1]).tolist()
+    [4, 3, 2]
+    """
+    hist = load_histogram(loads)
+    return np.cumsum(hist[::-1])[::-1]
+
+
+def height_counts_from_loads(loads) -> np.ndarray:
+    """``counts[h]`` = number of balls whose height is exactly ``h``.
+
+    A bin of load L contributes one ball at each height 1..L, so the
+    count at height h equals the number of bins with load >= h (h >= 1);
+    index 0 is always 0 for convenient alignment.
+
+    Examples
+    --------
+    >>> height_counts_from_loads([0, 2, 2, 1]).tolist()
+    [0, 3, 2]
+    """
+    nu = nu_profile(loads)
+    counts = nu.copy()
+    counts[0] = 0
+    return counts
+
+
+def max_load(loads) -> int:
+    """Maximum bin load (the statistic in the paper's Tables 1-3)."""
+    return int(_as_loads(loads).max())
+
+
+def load_imbalance(loads) -> float:
+    """Max-to-mean load ratio; 1.0 is a perfectly balanced system."""
+    arr = _as_loads(loads)
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.max() / mean)

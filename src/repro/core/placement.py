@@ -1,0 +1,197 @@
+"""High-level facade for the greedy d-choice placement process.
+
+:func:`place_balls` is the single entry point used by experiments,
+examples and baselines.  It wires a :class:`~repro.core.spaces.
+GeometricSpace` to one of the two engines and wraps the outcome in a
+:class:`PlacementResult` carrying the statistics the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import engine as _engine
+from repro.core.loads import (
+    height_counts_from_loads,
+    load_histogram,
+    load_imbalance,
+    max_load,
+    nu_profile,
+)
+from repro.core.spaces import GeometricSpace
+from repro.core.strategies import TieBreak
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["PlacementResult", "place_balls"]
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of one run of the greedy d-choice process.
+
+    Attributes
+    ----------
+    loads:
+        Final per-bin load vector, length ``n``.
+    m, d:
+        Number of balls and choices per ball.
+    strategy:
+        The tie-breaking rule used.
+    partitioned:
+        Whether choices were drawn from Vöcking's interval partition.
+    engine:
+        Which engine produced the result (``"sequential"``/``"batched"``).
+    heights:
+        Per-ball heights (1-based), present only when requested.
+    """
+
+    loads: np.ndarray
+    m: int
+    d: int
+    strategy: TieBreak
+    partitioned: bool = False
+    engine: str = "batched"
+    heights: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        total = int(self.loads.sum())
+        if total != self.m:
+            raise ValueError(
+                f"loads sum to {total} but m={self.m}; engine accounting bug"
+            )
+
+    # ------------------------------------------------------------------
+    # statistics (the vocabulary of the paper's proofs and tables)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of bins."""
+        return int(self.loads.shape[0])
+
+    @property
+    def max_load(self) -> int:
+        """Maximum bin load — the statistic tabulated in Tables 1-3."""
+        return max_load(self.loads)
+
+    def load_histogram(self) -> np.ndarray:
+        """``hist[k]`` = bins holding exactly ``k`` balls."""
+        return load_histogram(self.loads)
+
+    def nu_profile(self) -> np.ndarray:
+        """ν_i = bins with load at least i (layered-induction profile)."""
+        return nu_profile(self.loads)
+
+    def height_counts(self) -> np.ndarray:
+        """Balls at each exact height (index 0 unused)."""
+        return height_counts_from_loads(self.loads)
+
+    @property
+    def imbalance(self) -> float:
+        """Max-to-mean load ratio."""
+        return load_imbalance(self.loads)
+
+
+def place_balls(
+    space: GeometricSpace,
+    m: int,
+    d: int = 2,
+    *,
+    strategy: TieBreak | str = TieBreak.RANDOM,
+    partitioned: bool = False,
+    seed=None,
+    engine: str = "auto",
+    batch_size: int | None = None,
+    rng_block: int = _engine.DEFAULT_RNG_BLOCK,
+    record_heights: bool = False,
+) -> PlacementResult:
+    """Sequentially place ``m`` balls with ``d`` choices each.
+
+    This is the process of Theorem 1: each ball draws ``d`` uniform
+    points of the space, maps them to owning bins, and joins the least
+    loaded candidate, resolving ties with ``strategy``.
+
+    Parameters
+    ----------
+    space:
+        A :class:`RingSpace`, :class:`TorusSpace`, or any other
+        :class:`GeometricSpace` (baselines provide a uniform one).
+    m:
+        Number of balls (items).  The paper's tables use ``m = n``; the
+        ``m ≠ n`` remark is exercised by the ablation experiments.
+    d:
+        Choices per ball; ``d = 1`` reduces to plain nearest-neighbor
+        hashing (the Θ(log n) regime), ``d ≥ 2`` activates the
+        double-logarithmic regime.
+    strategy:
+        Tie-breaking rule, see :class:`~repro.core.strategies.TieBreak`.
+    partitioned:
+        Draw choice ``j`` from the ``j``-th of ``d`` equal sub-blocks
+        (Vöcking).  Combine with ``strategy="first"`` for the paper's
+        ``arc-left``.
+    seed:
+        Anything :func:`repro.utils.rng.resolve_rng` accepts.
+    engine:
+        ``"auto"`` (default), ``"sequential"`` or ``"batched"``.  Both
+        engines give bit-identical results for a given seed.
+    batch_size:
+        Batched-engine batch; ``None`` lets :func:`auto_batch_size`
+        tune it to the expected conflict-free prefix length.
+    rng_block:
+        Pre-draw block size; affects nothing but memory (fixed across
+        engines so results do not depend on the engine choice).
+    record_heights:
+        Also return per-ball heights (costs O(m) memory).
+
+    Examples
+    --------
+    >>> from repro.core import RingSpace
+    >>> ring = RingSpace.random(128, seed=1)
+    >>> res = place_balls(ring, m=128, d=2, seed=2)
+    >>> res.max_load <= 6
+    True
+    """
+    m = check_non_negative_int(m, "m")
+    d = check_positive_int(d, "d")
+    strat = TieBreak.coerce(strategy)
+    rng = resolve_rng(seed)
+    if engine == "auto":
+        engine = _engine.auto_engine(space.n)
+    if engine == "sequential":
+        loads, heights = _engine.run_sequential(
+            space,
+            m,
+            d,
+            strat,
+            rng,
+            partitioned=partitioned,
+            rng_block=rng_block,
+            record_heights=record_heights,
+        )
+    elif engine == "batched":
+        loads, heights = _engine.run_batched(
+            space,
+            m,
+            d,
+            strat,
+            rng,
+            partitioned=partitioned,
+            rng_block=rng_block,
+            batch_size=batch_size,
+            record_heights=record_heights,
+        )
+    else:
+        raise ValueError(
+            f"engine must be 'auto', 'sequential' or 'batched', got {engine!r}"
+        )
+    return PlacementResult(
+        loads=loads,
+        m=m,
+        d=d,
+        strategy=strat,
+        partitioned=partitioned,
+        engine=engine,
+        heights=heights,
+    )

@@ -1,0 +1,151 @@
+"""The 1-D ring: random arcs as bins (paper, Section 2).
+
+``n`` server points are placed on a circle of circumference 1.  Bin
+``j`` is the arc *owned* by server ``j``.  Following the consistent-
+hashing convention the paper's DHT application uses (keys go to the
+nearest server in the clockwise direction), server ``j`` owns the arc
+extending **counterclockwise** from its own position to the predecessor
+position — equivalently, a uniform point ``x`` belongs to the first
+server at or after ``x`` in clockwise order.  The induced arc lengths
+are the spacings of ``n`` uniform order statistics, the object of
+Lemmas 3–6.
+
+Implementation notes
+--------------------
+Server positions are kept **sorted** so ownership queries are a single
+``np.searchsorted`` (binary search, O(log n) per query, fully
+vectorized).  The sort is done once at construction; arc lengths are the
+adjacent differences with wraparound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spaces import GeometricSpace
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import as_float_array, check_positive_int
+
+__all__ = ["RingSpace"]
+
+
+class RingSpace(GeometricSpace):
+    """Circle of circumference 1 with clockwise-successor ownership.
+
+    Parameters
+    ----------
+    positions:
+        Server positions in ``[0, 1)``.  Need not be sorted; duplicates
+        are rejected (two servers at one point would create an empty,
+        ambiguous bin — the paper's continuous model has none almost
+        surely).
+
+    Examples
+    --------
+    >>> ring = RingSpace([0.5, 0.1, 0.9])   # sorted to [0.1, 0.5, 0.9]
+    >>> ring.assign(np.array([0.05, 0.45, 0.95]))  # 0.95 wraps to 0.1
+    array([0, 1, 0])
+    >>> float(ring.region_measures().sum())
+    1.0
+    """
+
+    def __init__(self, positions) -> None:
+        pos = as_float_array(positions, "positions", ndim=1)
+        if pos.size < 1:
+            raise ValueError("RingSpace needs at least one server position")
+        if np.any((pos < 0.0) | (pos >= 1.0)):
+            raise ValueError("positions must lie in [0, 1)")
+        pos = np.sort(pos)
+        if pos.size > 1 and np.any(np.diff(pos) == 0.0):
+            raise ValueError("positions must be distinct")
+        self._pos = pos
+        self.n = int(pos.size)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, n: int, seed=None) -> "RingSpace":
+        """Place ``n`` servers independently and uniformly on the circle."""
+        n = check_positive_int(n, "n")
+        rng = resolve_rng(seed)
+        return cls(rng.random(n))
+
+    # ------------------------------------------------------------------
+    # GeometricSpace interface
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """Sorted server positions (read-only view)."""
+        v = self._pos.view()
+        v.flags.writeable = False
+        return v
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        """Owning bin of each point: clockwise successor server.
+
+        A point exactly at a server position is owned by that server.
+        Points past the last server wrap to server 0.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.size and (np.any(pts < 0.0) or np.any(pts >= 1.0)):
+            raise ValueError("points must lie in [0, 1)")
+        # 'left': first index with pos >= x, i.e. the clockwise successor.
+        idx = np.searchsorted(self._pos, pts, side="left")
+        return np.asarray(idx % self.n, dtype=np.int64)
+
+    def sample_choice_bins(
+        self,
+        rng: np.random.Generator,
+        m: int,
+        d: int,
+        *,
+        partitioned: bool = False,
+    ) -> np.ndarray:
+        """Draw ``(m, d)`` candidate bins from uniform ring positions.
+
+        With ``partitioned=True``, choice ``j`` is uniform on
+        ``[j/d, (j+1)/d)`` — Vöcking's interval scheme from the paper's
+        Section 2 remark.
+        """
+        u = rng.random((m, d))
+        if partitioned:
+            u = (u + np.arange(d)) / d
+        return self.assign(u.ravel()).reshape(m, d)
+
+    def region_measures(self) -> np.ndarray:
+        """Arc lengths: bin ``j`` owns ``(pos[j-1], pos[j]]`` (wrapping).
+
+        These are exactly the uniform spacings studied by Lemmas 3–6;
+        they are non-negative and sum to 1.
+        """
+        if self.n == 1:
+            return np.ones(1)
+        lengths = np.empty(self.n)
+        lengths[1:] = np.diff(self._pos)
+        lengths[0] = 1.0 - self._pos[-1] + self._pos[0]
+        return lengths
+
+    # ------------------------------------------------------------------
+    # ring-specific queries used by theory validation
+    # ------------------------------------------------------------------
+    def arcs_at_least(self, c: float) -> int:
+        """``N_c``: number of arcs with length at least ``c / n``.
+
+        Matches the quantity bounded by Lemmas 4 and 5.
+        """
+        if c < 0:
+            raise ValueError(f"c must be non-negative, got {c}")
+        return int(np.count_nonzero(self.region_measures() >= c / self.n))
+
+    def longest_arcs_total(self, a: int) -> float:
+        """Total length of the ``a`` longest arcs (Lemma 6's quantity)."""
+        a = check_positive_int(a, "a")
+        if a > self.n:
+            raise ValueError(f"a={a} exceeds the number of arcs n={self.n}")
+        lengths = self.region_measures()
+        if a == self.n:
+            return float(lengths.sum())
+        # partial selection: O(n) instead of a full sort
+        top = np.partition(lengths, self.n - a)[self.n - a :]
+        return float(top.sum())

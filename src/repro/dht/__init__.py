@@ -1,0 +1,49 @@
+"""Chord-style distributed hash table: the paper's motivating application.
+
+The paper's Section 1.1: in consistent hashing, servers and keys hash
+onto a one-dimensional ring and each key is assigned to the nearest
+server clockwise; Chord adds logarithmic-size finger tables for
+O(log n)-hop lookups.  The naive design is Θ(log n)-imbalanced (arc
+lengths are non-uniform), Chord's remedy is virtual servers, and the
+paper's proposal — analyzed by Theorem 1 — is the two-choices
+refinement of [3] (Byers-Considine-Mitzenmacher, IPTPS 2003).
+
+This package is a faithful, self-contained implementation:
+
+* :mod:`repro.dht.hashing` — deterministic BLAKE2b hashing of keys and
+  server names to ring positions (the d hash functions of the scheme),
+* :mod:`repro.dht.chord` — the ring, successor lookup, finger tables,
+  iterative routing with hop counting, joins and departures,
+* :mod:`repro.dht.twochoice` — d-choice insertion with redirect
+  pointers so lookups stay O(log n) hops,
+* :mod:`repro.dht.workload` — key/lookup workload generators (uniform
+  and Zipf-popular),
+* :mod:`repro.dht.resilience` — successor lists, fail-stop nodes and
+  churn measurement (the conclusion's reliability remark),
+* :mod:`repro.dht.can` — a CAN-style zone DHT on the k-torus (the
+  paper's other DHT citation), whose dyadic zone volumes provide a
+  third, more skewed bin geometry for the placement engine.
+"""
+
+from repro.dht.hashing import hash_to_unit, key_id, multi_hash, RING_BITS
+from repro.dht.can import CanNetwork, CanSpace
+from repro.dht.chord import ChordRing, LookupResult
+from repro.dht.twochoice import TwoChoiceDHT
+from repro.dht.resilience import ChurnReport, ResilientChord
+from repro.dht.workload import generate_keys, zipf_lookups
+
+__all__ = [
+    "RING_BITS",
+    "hash_to_unit",
+    "key_id",
+    "multi_hash",
+    "CanNetwork",
+    "CanSpace",
+    "ChordRing",
+    "LookupResult",
+    "TwoChoiceDHT",
+    "ResilientChord",
+    "ChurnReport",
+    "generate_keys",
+    "zipf_lookups",
+]

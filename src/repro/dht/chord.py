@@ -1,0 +1,245 @@
+"""The Chord ring: successor ownership, finger tables, O(log n) routing.
+
+Faithful to Stoica et al. (SIGCOMM 2001) at the level the paper needs:
+
+* node identifiers live on a ``2**RING_BITS`` ring; a key belongs to
+  its **successor** — the first node clockwise at or after the key
+  (this is the "nearest server in the clockwise direction" of the
+  paper's Section 1.1, and the arc-bin structure of Theorem 1),
+* each node keeps a finger table: entry ``k`` points to
+  ``successor(node_id + 2^k)``,
+* lookups route iteratively through closest-preceding fingers, halving
+  the remaining clockwise distance per hop, so any lookup completes in
+  O(log n) hops (asserted by tests, measured by experiments),
+* nodes may join and leave; finger tables are rebuilt (the simulation
+  equivalent of Chord's stabilization converging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dht.hashing import RING_BITS, key_id
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ChordRing", "LookupResult", "in_interval"]
+
+
+def in_interval(x: int, a: int, b: int, *, inclusive_right: bool = False) -> bool:
+    """Whether ``x`` lies in the circular interval ``(a, b)`` / ``(a, b]``.
+
+    Intervals are clockwise on the identifier ring; when ``a == b`` the
+    interval is the whole ring minus ``a`` (plus ``b`` if inclusive).
+
+    Examples
+    --------
+    >>> in_interval(5, 3, 7)
+    True
+    >>> in_interval(1, 6, 3)  # wraps around 0
+    True
+    """
+    if a < b:
+        return (a < x <= b) if inclusive_right else (a < x < b)
+    if a > b:
+        return (x > a or x <= b) if inclusive_right else (x > a or x < b)
+    # a == b: full circle
+    return x != a or inclusive_right
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of routing one key lookup through the overlay."""
+
+    owner_index: int
+    owner_id: int
+    hops: int
+    path: tuple[int, ...]
+
+
+class ChordRing:
+    """A stabilized Chord overlay over a fixed set of nodes.
+
+    Parameters
+    ----------
+    node_ids:
+        Iterable of distinct ``RING_BITS``-bit identifiers.
+
+    Examples
+    --------
+    >>> ring = ChordRing.random(32, seed=0)
+    >>> res = ring.lookup(12345)
+    >>> res.owner_index == ring.successor_index(12345)
+    True
+    """
+
+    def __init__(self, node_ids) -> None:
+        as_ints = sorted(int(i) for i in node_ids)
+        if not as_ints:
+            raise ValueError("ChordRing needs at least one node")
+        if as_ints[0] < 0 or (as_ints[-1] >> RING_BITS):
+            raise ValueError(f"identifiers must fit in {RING_BITS} bits")
+        ids = np.array(as_ints, dtype=np.uint64)
+        if np.any(ids[1:] == ids[:-1]):
+            raise ValueError("node identifiers must be distinct")
+        self._ids = ids
+        self._fingers: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, n: int, seed=None) -> "ChordRing":
+        """``n`` nodes with uniformly random identifiers (no collisions)."""
+        n = check_positive_int(n, "n")
+        rng = resolve_rng(seed)
+        ids: set[int] = set()
+        while len(ids) < n:
+            batch = rng.integers(0, 1 << 63, size=n, dtype=np.int64)
+            # spread over the full 64-bit ring
+            ids.update(int(b) << 1 for b in batch)
+        return cls(list(ids)[:n])
+
+    @classmethod
+    def from_names(cls, names) -> "ChordRing":
+        """Hash server names to identifiers (deterministic deployment)."""
+        return cls(key_id(name) for name in names)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self._ids.size)
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        v = self._ids.view()
+        v.flags.writeable = False
+        return v
+
+    def successor_index(self, ident: int | np.ndarray):
+        """Index of the node owning identifier(s) ``ident``.
+
+        Vectorized: accepts scalars or arrays.  Ownership = first node
+        id >= ident, wrapping past the highest id to node 0.
+        """
+        idx = np.searchsorted(self._ids, np.asarray(ident, dtype=np.uint64), "left")
+        idx = idx % self.n
+        if np.ndim(ident) == 0:
+            return int(idx)
+        return idx.astype(np.int64)
+
+    def arc_lengths(self) -> np.ndarray:
+        """Fraction of the identifier space owned by each node."""
+        ids = self._ids.astype(np.float64) / float(1 << RING_BITS)
+        lengths = np.empty(self.n)
+        lengths[1:] = np.diff(ids)
+        lengths[0] = 1.0 - ids[-1] + ids[0]
+        return lengths
+
+    def finger_table(self) -> np.ndarray:
+        """``(n, RING_BITS)`` finger matrix (built lazily, cached).
+
+        ``fingers[i, k]`` is the index of ``successor(id_i + 2^k)``.
+        """
+        if self._fingers is None:
+            powers = (np.uint64(1) << np.arange(RING_BITS, dtype=np.uint64))
+            # uint64 addition wraps mod 2^64 == mod ring size: exactly
+            # the arithmetic Chord specifies
+            with np.errstate(over="ignore"):
+                targets = self._ids[:, None] + powers[None, :]
+            self._fingers = self.successor_index(targets)
+        return self._fingers
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def lookup(self, ident: int, start_index: int | None = None) -> LookupResult:
+        """Route a lookup for ``ident`` from ``start_index`` (default 0).
+
+        Iterative closest-preceding-finger routing; each forwarding is
+        one hop.  Resolving at the starting node costs 0 hops.
+        """
+        ident = int(ident)
+        if ident >> RING_BITS:
+            raise ValueError(f"identifier must fit in {RING_BITS} bits")
+        n = self.n
+        if start_index is None:
+            start_index = 0
+        if not 0 <= start_index < n:
+            raise ValueError(f"start_index {start_index} out of range [0, {n})")
+        fingers = self.finger_table()
+        ids = self._ids
+        cur = start_index
+        hops = 0
+        path = [cur]
+        # hop bound: each forwarding at least halves clockwise distance
+        max_hops = 2 * RING_BITS + 2
+        while True:
+            cur_id = int(ids[cur])
+            if ident == cur_id:
+                # the current node owns its own identifier
+                return LookupResult(
+                    owner_index=cur,
+                    owner_id=cur_id,
+                    hops=hops,
+                    path=tuple(path),
+                )
+            succ = (cur + 1) % n
+            succ_id = int(ids[succ])
+            if n == 1 or in_interval(ident, cur_id, succ_id, inclusive_right=True):
+                owner = succ if n > 1 else 0
+                if owner != cur:
+                    hops += 1
+                    path.append(owner)
+                return LookupResult(
+                    owner_index=owner,
+                    owner_id=int(ids[owner]),
+                    hops=hops,
+                    path=tuple(path),
+                )
+            nxt = cur
+            for k in range(RING_BITS - 1, -1, -1):
+                f = int(fingers[cur, k])
+                if f != cur and in_interval(int(ids[f]), cur_id, ident):
+                    nxt = f
+                    break
+            if nxt == cur:
+                nxt = succ  # no finger strictly precedes: fall to successor
+            cur = nxt
+            hops += 1
+            path.append(cur)
+            if hops > max_hops:
+                raise RuntimeError(
+                    f"lookup for {ident} exceeded {max_hops} hops; "
+                    "finger tables are inconsistent"
+                )
+
+    # ------------------------------------------------------------------
+    # membership changes
+    # ------------------------------------------------------------------
+    def join(self, ident: int) -> int:
+        """Add a node; returns its index.  Fingers are rebuilt lazily."""
+        ident = int(ident)
+        if ident >> RING_BITS:
+            raise ValueError(f"identifier must fit in {RING_BITS} bits")
+        if np.any(self._ids == np.uint64(ident)):
+            raise ValueError(f"identifier {ident} already present")
+        pos = int(np.searchsorted(self._ids, np.uint64(ident)))
+        self._ids = np.insert(self._ids, pos, np.uint64(ident))
+        self._fingers = None
+        return pos
+
+    def leave(self, index: int) -> int:
+        """Remove the node at ``index``; returns its identifier."""
+        if not 0 <= index < self.n:
+            raise ValueError(f"index {index} out of range [0, {self.n})")
+        if self.n == 1:
+            raise ValueError("cannot remove the last node")
+        ident = int(self._ids[index])
+        self._ids = np.delete(self._ids, index)
+        self._fingers = None
+        return ident

@@ -1,0 +1,66 @@
+"""Deterministic hashing of keys and servers to ring identifiers.
+
+Real DHTs use a cryptographic hash (SHA-1 in Chord); we use BLAKE2b
+(stdlib, fast, keyed) truncated to :data:`RING_BITS` bits.  The
+``d``-choice scheme needs ``d`` independent hash functions; we derive
+them by salting the hash with the choice index, which under the
+random-oracle idealization (the same one the paper makes) yields
+independent uniform positions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["RING_BITS", "RING_SIZE", "key_id", "hash_to_unit", "multi_hash"]
+
+#: Identifier width of the ring (Chord uses 160; 64 is plenty for
+#: simulation and keeps ids in native integers).
+RING_BITS = 64
+
+#: Number of points on the identifier ring.
+RING_SIZE = 1 << RING_BITS
+
+
+def _digest(data: bytes, salt: int) -> int:
+    h = hashlib.blake2b(
+        data, digest_size=8, salt=salt.to_bytes(8, "big"), usedforsecurity=False
+    )
+    return int.from_bytes(h.digest(), "big")
+
+
+def key_id(key: str | bytes, salt: int = 0) -> int:
+    """Hash a key (or server name) to a ``RING_BITS``-bit identifier.
+
+    Examples
+    --------
+    >>> key_id("alice") == key_id(b"alice")
+    True
+    >>> key_id("alice") != key_id("alice", salt=1)
+    True
+    """
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    elif not isinstance(key, bytes):
+        raise TypeError(f"key must be str or bytes, got {type(key).__name__}")
+    salt = check_non_negative_int(salt, "salt")
+    return _digest(key, salt)
+
+
+def hash_to_unit(key: str | bytes, salt: int = 0) -> float:
+    """Hash a key to a position in ``[0, 1)`` (the analysis's ring)."""
+    return key_id(key, salt) / RING_SIZE
+
+
+def multi_hash(key: str | bytes, d: int) -> np.ndarray:
+    """The ``d`` candidate identifiers of a key (one per hash function).
+
+    Returns a length-``d`` uint64 array; entry ``j`` is the key's image
+    under the ``j``-th salted hash.
+    """
+    d = check_positive_int(d, "d")
+    return np.array([key_id(key, salt=j) for j in range(d)], dtype=np.uint64)

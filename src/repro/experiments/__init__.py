@@ -1,0 +1,13 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Each driver module exposes ``run(...) -> ExperimentReport`` with scaled
+defaults that finish on a laptop; paper-scale parameters are plain
+keyword arguments away.  ``python -m repro.experiments <name>`` runs a
+driver from the command line; the registry maps experiment ids (see
+DESIGN.md section 3) to drivers.
+"""
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["ExperimentReport", "get_experiment", "list_experiments"]

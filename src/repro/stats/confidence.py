@@ -1,0 +1,62 @@
+"""Confidence intervals for the reported frequencies.
+
+The paper reports raw percentages over 1000 trials; when we compare our
+scaled-down trial counts against those numbers the honest statement is
+an interval, not a point.  Wilson's score interval behaves well at the
+extreme proportions the tables contain (0.1%-level entries).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+__all__ = ["wilson_interval", "frequencies_compatible"]
+
+
+def wilson_interval(
+    successes: int, trials: int, *, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Examples
+    --------
+    >>> lo, hi = wilson_interval(700, 1000)
+    >>> lo < 0.7 < hi
+    True
+    """
+    successes = check_non_negative_int(successes, "successes")
+    trials = check_positive_int(trials, "trials")
+    if successes > trials:
+        raise ValueError(f"successes={successes} exceeds trials={trials}")
+    if z <= 0:
+        raise ValueError(f"z must be > 0, got {z}")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def frequencies_compatible(
+    successes_a: int,
+    trials_a: int,
+    successes_b: int,
+    trials_b: int,
+    *,
+    z: float = 2.58,
+) -> bool:
+    """Whether two observed proportions could share a true value.
+
+    True when the two Wilson intervals (at the given z) overlap — the
+    criterion the experiment shape checks use to compare our scaled
+    trial counts with the paper's 1000-trial percentages.
+    """
+    lo_a, hi_a = wilson_interval(successes_a, trials_a, z=z)
+    lo_b, hi_b = wilson_interval(successes_b, trials_b, z=z)
+    return lo_a <= hi_b and lo_b <= hi_a

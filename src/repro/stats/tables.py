@@ -1,0 +1,83 @@
+"""Render grids of max-load distributions as the paper's tables.
+
+The paper's tables are grids with one row per ``n`` and one column per
+``d`` (Tables 1-2) or per strategy (Table 3); every cell is a small
+frequency list.  :func:`render_table` reproduces that layout in
+monospace text so the harness output can be compared side by side with
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.stats.distributions import MaxLoadDistribution
+
+__all__ = ["render_table", "exponent_label"]
+
+
+def exponent_label(n: int) -> str:
+    """``2^k`` label when ``n`` is a power of two, else ``str(n)``."""
+    if n > 0 and n & (n - 1) == 0:
+        return f"2^{n.bit_length() - 1}"
+    return str(n)
+
+
+def render_table(
+    cells: Mapping[tuple, MaxLoadDistribution],
+    row_keys: Sequence,
+    col_keys: Sequence,
+    *,
+    title: str = "",
+    row_label=exponent_label,
+    col_label=str,
+    min_pct: float = 0.0,
+) -> str:
+    """Render ``cells[(row, col)]`` distributions as a paper-style grid.
+
+    Parameters
+    ----------
+    cells:
+        Mapping from ``(row_key, col_key)`` to a distribution; missing
+        cells render as ``(not run)``.
+    row_keys, col_keys:
+        Orders the grid (rows are usually ``n`` values, columns ``d``
+        values or strategy names).
+    row_label, col_label:
+        Formatting callables for the header column/row.
+
+    Examples
+    --------
+    >>> d = MaxLoadDistribution.from_samples([3, 3, 4])
+    >>> print(render_table({(256, 2): d}, [256], [2], title="demo")
+    ...       )  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+    col_width = 18
+    header_width = 8
+    blocks: list[str] = []
+    if title:
+        blocks.append(title)
+    header = f"{'n':<{header_width}}" + "".join(
+        f"{col_label(c):<{col_width}}" for c in col_keys
+    )
+    blocks.append(header)
+    blocks.append("-" * len(header))
+    for r in row_keys:
+        cell_lines: list[list[str]] = []
+        for c in col_keys:
+            dist = cells.get((r, c))
+            cell_lines.append(
+                dist.lines(min_pct=min_pct) if dist is not None else ["(not run)"]
+            )
+        height = max(len(lines) for lines in cell_lines)
+        for i in range(height):
+            left = row_label(r) if i == 0 else ""
+            row = f"{left:<{header_width}}"
+            for lines in cell_lines:
+                text = lines[i] if i < len(lines) else ""
+                row += f"{text:<{col_width}}"
+            blocks.append(row.rstrip())
+        blocks.append("")
+    return "\n".join(blocks).rstrip() + "\n"

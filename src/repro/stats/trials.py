@@ -1,0 +1,210 @@
+"""Deterministic multi-trial simulation of table cells.
+
+A *cell* of the paper's tables is a tuple (space kind, n, m, d,
+strategy); each trial re-draws both the server placement and the item
+choices.  Seeds are spawned per trial from a master
+:class:`~numpy.random.SeedSequence`, so results are identical whether
+trials run serially or across a process pool, and whether other cells
+run before or after (DESIGN.md decision 3).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.core.placement import place_balls
+from repro.core.ring import RingSpace
+from repro.core.strategies import TieBreak
+from repro.core.torus import TorusSpace
+from repro.stats.distributions import MaxLoadDistribution
+from repro.utils.rng import spawn_seed_sequences
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CellSpec", "simulate_max_load", "run_cell", "run_cell_profile"]
+
+_SPACES = ("ring", "torus", "uniform")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One table cell: the full parameterization of a trial.
+
+    Attributes
+    ----------
+    space:
+        ``"ring"`` (Table 1/3), ``"torus"`` (Table 2) or ``"uniform"``
+        (ABKU baseline).
+    n:
+        Number of servers/bins.
+    d:
+        Choices per item.
+    m:
+        Items; ``None`` means ``m = n`` (the tables' setting).
+    strategy:
+        Tie-break rule (Table 3 varies this).
+    partitioned:
+        Vöcking interval sampling (the ``arc-left`` scheme combines
+        this with ``strategy="first"``).
+    dim:
+        Torus dimension (2 in the paper; ablations raise it).
+    """
+
+    space: str
+    n: int
+    d: int
+    m: int | None = None
+    strategy: str = "random"
+    partitioned: bool = False
+    dim: int = 2
+
+    def __post_init__(self) -> None:
+        if self.space not in _SPACES:
+            raise ValueError(f"space must be one of {_SPACES}, got {self.space!r}")
+        check_positive_int(self.n, "n")
+        check_positive_int(self.d, "d")
+        if self.m is not None:
+            check_positive_int(self.m, "m")
+        TieBreak.coerce(self.strategy)  # validate eagerly
+        check_positive_int(self.dim, "dim")
+
+    @property
+    def balls(self) -> int:
+        return self.n if self.m is None else self.m
+
+    def with_(self, **kwargs) -> "CellSpec":
+        """Functional update (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+    def label(self) -> str:
+        bits = [self.space, f"n={self.n}", f"d={self.d}"]
+        if self.m is not None and self.m != self.n:
+            bits.append(f"m={self.m}")
+        if self.strategy != "random":
+            bits.append(self.strategy)
+        if self.partitioned:
+            bits.append("partitioned")
+        if self.space == "torus" and self.dim != 2:
+            bits.append(f"dim={self.dim}")
+        return " ".join(bits)
+
+
+def _build_space(spec: CellSpec, rng: np.random.Generator):
+    if spec.space == "ring":
+        return RingSpace.random(spec.n, seed=rng)
+    if spec.space == "torus":
+        return TorusSpace.random(spec.n, dim=spec.dim, seed=rng)
+    from repro.baselines.uniform import UniformSpace
+
+    return UniformSpace(spec.n)
+
+
+def simulate_max_load(spec: CellSpec, seed) -> int:
+    """One trial: fresh server placement, fresh items, max load out."""
+    rng = np.random.default_rng(seed)
+    space = _build_space(spec, rng)
+    result = place_balls(
+        space,
+        spec.balls,
+        spec.d,
+        strategy=spec.strategy,
+        partitioned=spec.partitioned,
+        seed=rng,
+    )
+    return result.max_load
+
+
+def simulate_nu_profile(spec: CellSpec, seed) -> np.ndarray:
+    """One trial returning the full ν-profile (bins with load >= i).
+
+    This is the object the fluid-limit ODE predicts; see
+    :func:`run_cell_profile`.
+    """
+    rng = np.random.default_rng(seed)
+    space = _build_space(spec, rng)
+    result = place_balls(
+        space,
+        spec.balls,
+        spec.d,
+        strategy=spec.strategy,
+        partitioned=spec.partitioned,
+        seed=rng,
+    )
+    return result.nu_profile()
+
+
+def run_cell_profile(
+    spec: CellSpec,
+    trials: int,
+    seed=None,
+) -> np.ndarray:
+    """Mean ν-profile over trials (padded to the longest observed).
+
+    Returns ``profile`` with ``profile[i]`` = average number of bins
+    holding at least ``i`` balls.  Dividing by ``spec.n`` gives the
+    empirical counterpart of the fluid limit's ``s_i`` (and of the
+    layered induction's ``nu_i / n``), which the `theory_vs_sim`
+    analysis and tests compare against
+    :func:`repro.theory.fluid.fluid_limit_tails`.
+    """
+    trials = check_positive_int(trials, "trials")
+    seeds = spawn_seed_sequences(seed, trials)
+    profiles = [simulate_nu_profile(spec, ss) for ss in seeds]
+    depth = max(p.size for p in profiles)
+    acc = np.zeros(depth, dtype=np.float64)
+    for p in profiles:
+        acc[: p.size] += p
+    return acc / trials
+
+
+def _worker(args) -> int:
+    spec, entropy_state = args
+    return simulate_max_load(spec, np.random.SeedSequence(**entropy_state))
+
+
+def _seed_state(ss: np.random.SeedSequence) -> dict:
+    return {
+        "entropy": ss.entropy,
+        "spawn_key": ss.spawn_key,
+        "pool_size": ss.pool_size,
+    }
+
+
+def run_cell(
+    spec: CellSpec,
+    trials: int,
+    seed=None,
+    *,
+    n_jobs: int | None = 1,
+) -> MaxLoadDistribution:
+    """Run ``trials`` independent trials of a cell.
+
+    Parameters
+    ----------
+    n_jobs:
+        1 = serial (default); ``None`` = one process per CPU; k > 1 =
+        that many worker processes.  Results are independent of this
+        choice.
+
+    Examples
+    --------
+    >>> dist = run_cell(CellSpec("ring", 256, 2), trials=8, seed=0)
+    >>> dist.trials
+    8
+    """
+    trials = check_positive_int(trials, "trials")
+    seeds = spawn_seed_sequences(seed, trials)
+    if n_jobs == 1:
+        maxima = [simulate_max_load(spec, ss) for ss in seeds]
+    else:
+        if n_jobs is None:
+            n_jobs = os.cpu_count() or 1
+        n_jobs = check_positive_int(n_jobs, "n_jobs")
+        ctx = get_context("fork") if os.name == "posix" else get_context()
+        payload = [(spec, _seed_state(ss)) for ss in seeds]
+        with ctx.Pool(min(n_jobs, trials)) as pool:
+            maxima = pool.map(_worker, payload, chunksize=max(1, trials // (4 * n_jobs)))
+    return MaxLoadDistribution.from_samples(maxima, spec=spec)

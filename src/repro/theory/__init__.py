@@ -1,0 +1,107 @@
+"""Analytical toolkit: every bound and recursion in the paper's proofs.
+
+Modules map one-to-one onto the paper's lemmas:
+
+* :mod:`repro.theory.chernoff` — Lemma 2's Chernoff form, the general
+  multiplicative Chernoff bound, Azuma–Hoeffding, exact binomial tails.
+* :mod:`repro.theory.arcs` — the arc-length (uniform spacing) laws:
+  exact survival functions, Lemma 4 (negative-dependence Chernoff tail),
+  Lemma 5 (martingale tail), Lemma 6 (sum of the a longest arcs), and
+  the 4 ln n / n longest-arc bound.
+* :mod:`repro.theory.negdep` — Lemma 3: negative dependence of the
+  arc-length indicators, verified exactly via the joint spacing
+  survival function and empirically on samples.
+* :mod:`repro.theory.voronoi_tails` — Lemma 8's six-sector geometric
+  test and Lemma 9's tail bound on large Voronoi regions.
+* :mod:`repro.theory.recursion` — Eq. (1)'s layered-induction recursion,
+  the i* stopping index, Claim 10's envelope, and predicted max-load
+  curves for both the geometric and the classical (ABKU) recursions.
+* :mod:`repro.theory.fluid` — Mitzenmacher's differential-equation
+  (fluid-limit) method for the uniform case, referenced in the paper's
+  conclusion as the sharper prediction tool.
+"""
+
+from repro.theory.chernoff import (
+    azuma_tail,
+    chernoff_lemma2,
+    chernoff_multiplicative,
+    exact_binomial_tail,
+)
+from repro.theory.arcs import (
+    arc_count_poisson_tail,
+    arc_survival,
+    expected_arcs_at_least,
+    expected_max_arc,
+    lemma4_tail,
+    lemma5_tail,
+    lemma6_sum_bound,
+    longest_arc_bound,
+    sample_spacings,
+)
+from repro.theory.negdep import (
+    empirical_product_moments,
+    negative_dependence_holds_exact,
+    spacings_joint_survival,
+)
+from repro.theory.voronoi_tails import (
+    expected_large_regions_bound,
+    lemma8_sector_test,
+    lemma9_tail_azuma,
+    lemma9_tail_paper,
+)
+from repro.theory.recursion import (
+    abku_beta_sequence,
+    beta_sequence,
+    claim10_constant,
+    claim10_envelope,
+    i_star,
+    practical_predicted_max_load,
+    predicted_max_load,
+    theorem1_leading_term,
+)
+from repro.theory.fluid import fluid_limit_tails, fluid_predicted_max_load
+from repro.theory.weighted_fluid import (
+    VORONOI_GAMMA_SHAPE,
+    WeightModel,
+    weight_model_for,
+    weighted_fluid_predicted_max_load,
+    weighted_fluid_tails,
+)
+
+__all__ = [
+    "chernoff_lemma2",
+    "chernoff_multiplicative",
+    "azuma_tail",
+    "exact_binomial_tail",
+    "arc_survival",
+    "arc_count_poisson_tail",
+    "expected_arcs_at_least",
+    "expected_max_arc",
+    "lemma4_tail",
+    "lemma5_tail",
+    "lemma6_sum_bound",
+    "longest_arc_bound",
+    "sample_spacings",
+    "spacings_joint_survival",
+    "negative_dependence_holds_exact",
+    "empirical_product_moments",
+    "lemma8_sector_test",
+    "lemma9_tail_paper",
+    "lemma9_tail_azuma",
+    "expected_large_regions_bound",
+    "beta_sequence",
+    "abku_beta_sequence",
+    "claim10_constant",
+    "claim10_envelope",
+    "i_star",
+    "predicted_max_load",
+    "practical_predicted_max_load",
+    "theorem1_leading_term",
+    "fluid_limit_tails",
+    "fluid_predicted_max_load",
+    "WeightModel",
+    "weight_model_for",
+    "weighted_fluid_tails",
+    "weighted_fluid_predicted_max_load",
+    "VORONOI_GAMMA_SHAPE",
+]

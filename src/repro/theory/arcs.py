@@ -1,0 +1,217 @@
+"""Arc-length (uniform spacing) laws: the paper's Lemmas 4-6.
+
+When ``n`` points land uniformly on a circle of circumference 1, the
+``n`` induced arcs are the *uniform spacings*: jointly distributed as a
+flat Dirichlet, each marginally with survival function
+``Pr(L >= x) = (1 - x)^(n-1)``.  The paper's whole Section 2 reduces to
+controlling, for ``N_c`` = number of arcs of length at least ``c/n``:
+
+* the expectation ``E[N_c] = n (1 - c/n)^(n-1) <= n e^{-c}`` (c >= 2),
+* Lemma 4's Chernoff tail (via Lemma 3's negative dependence),
+* Lemma 5's weaker Azuma/Doob-martingale tail,
+* Lemma 6's bound ``2 (a/n) ln(n/a)`` on the total length of the ``a``
+  longest arcs,
+* the ``4 ln n / n`` bound on the single longest arc.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.theory.chernoff import azuma_tail, chernoff_lemma2
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "arc_survival",
+    "expected_arcs_at_least",
+    "lemma4_tail",
+    "lemma5_tail",
+    "lemma6_sum_bound",
+    "lemma6_failure_probability_is_small",
+    "longest_arc_bound",
+    "longest_arc_exceedance_probability",
+    "expected_max_arc",
+    "sample_spacings",
+]
+
+
+def arc_survival(x: float, n: int) -> float:
+    """``Pr(a given arc has length >= x)`` = ``(1 - x)^(n-1)``.
+
+    Exact for uniform spacings of ``n`` points; the paper uses the
+    threshold form ``x = c/n``.
+
+    Examples
+    --------
+    >>> arc_survival(0.5, 2)
+    0.5
+    """
+    n = check_positive_int(n, "n")
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1], got {x}")
+    return float((1.0 - x) ** (n - 1))
+
+
+def expected_arcs_at_least(c: float, n: int, *, bound: bool = False) -> float:
+    """``E[N_c]``: expected number of arcs of length >= ``c/n``.
+
+    Exact value ``n (1 - c/n)^(n-1)``; with ``bound=True`` returns the
+    paper's relaxation ``n e^{-c}`` (valid — i.e. dominating — for
+    ``c >= 2``, per the inequality below Lemma 4).
+    """
+    n = check_positive_int(n, "n")
+    if c < 0 or c > n:
+        raise ValueError(f"c must be in [0, n], got {c}")
+    if bound:
+        if c < 2:
+            raise ValueError(f"the e^-c bound requires c >= 2, got {c}")
+        return n * math.exp(-c)
+    return n * arc_survival(c / n, n)
+
+
+def lemma4_tail(c: float, n: int) -> float:
+    """Lemma 4: ``Pr(N_c >= 2 n e^{-c}) <= exp(-n e^{-c} / 3)``.
+
+    Valid for ``2 <= c <= n``; rests on Lemma 3's negative dependence of
+    the arc indicators, which lets Lemma 2's Chernoff bound apply.
+    """
+    n = check_positive_int(n, "n")
+    if not 2.0 <= c <= n:
+        raise ValueError(f"Lemma 4 requires 2 <= c <= n, got c={c}, n={n}")
+    p = math.exp(-c)
+    return chernoff_lemma2(n, p)
+
+
+def lemma5_tail(c: float, n: int) -> float:
+    """Lemma 5: ``Pr(N_c >= 2 n e^{-c}) <= exp(-n e^{-2c} / 8)``.
+
+    The martingale alternative: the Doob sequence exposing points one at
+    a time satisfies a Lipschitz condition with constant 2 (each point
+    splits at most one long arc into two, or merges nothing), so Azuma
+    applies with deviation ``t = n e^{-c}``.  Weaker than Lemma 4 —
+    tests confirm ``lemma5_tail >= lemma4_tail`` — but generalizes to
+    settings without a negative-dependence proof (the torus).
+    """
+    n = check_positive_int(n, "n")
+    if not 2.0 <= c <= n:
+        raise ValueError(f"Lemma 5 requires 2 <= c <= n, got c={c}, n={n}")
+    t = n * math.exp(-c)
+    return azuma_tail(t, 2.0, n)
+
+
+def lemma6_sum_bound(a: int, n: int) -> float:
+    """Lemma 6: w.h.p. the ``a`` longest arcs total at most this length.
+
+    Bound: ``2 (a/n) ln(n/a)``, stated for ``(ln n)^2 <= a <= n/64``.
+    Outside that window the bound expression is still returned (it is
+    only the probability guarantee that needs the window); callers can
+    check the window with :func:`lemma6_in_window`.
+    """
+    a = check_positive_int(a, "a")
+    n = check_positive_int(n, "n")
+    if a > n:
+        raise ValueError(f"a={a} cannot exceed n={n}")
+    return 2.0 * (a / n) * math.log(n / a) if a < n else 1.0
+
+
+def lemma6_in_window(a: int, n: int) -> bool:
+    """Whether ``(ln n)^2 <= a <= n/64`` (Lemma 6's stated range).
+
+    Integer arithmetic on the upper limit so asymptotic sanity checks
+    can pass astronomically large ``n``.
+    """
+    return math.log(n) ** 2 <= a and 64 * a <= n
+
+
+def lemma6_failure_probability_is_small(a: int, n: int) -> float:
+    """Crude upper estimate of Lemma 6's failure probability.
+
+    The proof bounds the failure probability by
+    ``sum_k exp(-(a / 2^k) / 12) + 1/n^3`` over the recursion levels
+    down to ``a / 2^j ~ (ln n)^2 / 32``; we evaluate that sum directly.
+    """
+    a = check_positive_int(a, "a")
+    n = check_positive_int(n, "n")
+    # exp(-3 ln n) instead of 1/n^3: safe for astronomically large n
+    total = math.exp(max(-745.0, -3.0 * math.log(n)))
+    b = float(a)
+    floor = math.log(n) ** 2 / 32.0
+    while b >= floor:
+        total += math.exp(-b / 12.0)
+        b /= 2.0
+    return min(total, 1.0)
+
+
+def longest_arc_bound(n: int) -> float:
+    """The proof's high-probability cap on the single longest arc.
+
+    ``4 ln n / n``, exceeded with probability at most ``1/n^3``
+    (shown inside Lemma 6's proof).
+    """
+    n = check_positive_int(n, "n")
+    if n < 2:
+        return 1.0
+    return 4.0 * math.log(n) / n
+
+
+def longest_arc_exceedance_probability(n: int) -> float:
+    """Union bound ``n (1 - 4 ln n / n)^(n-1)`` for the longest arc.
+
+    This is the quantity the proof bounds by ``1/n^3``.
+    """
+    n = check_positive_int(n, "n")
+    if n < 2:
+        return 0.0
+    x = 4.0 * math.log(n) / n
+    if x >= 1.0:
+        return 0.0
+    return float(n * (1.0 - x) ** (n - 1))
+
+
+def expected_max_arc(n: int) -> float:
+    """Exact expectation of the longest arc: ``H_n / n``.
+
+    Classical order-statistics identity for uniform spacings
+    (``H_n`` = n-th harmonic number); confirms the Θ(log n / n) scale
+    the paper quotes for the largest region.
+    """
+    n = check_positive_int(n, "n")
+    harmonic = float(np.sum(1.0 / np.arange(1, n + 1)))
+    return harmonic / n
+
+
+def arc_count_poisson_tail(c: float, n: int, k: int) -> float:
+    """Poisson approximation to ``Pr(N_c >= k)``.
+
+    For large ``n`` the number of arcs of length at least ``c/n`` is
+    approximately Poisson with mean ``E[N_c] = n (1 - c/n)^{n-1}`` (the
+    indicators are weakly negatively dependent, so the approximation is
+    slightly conservative in the upper tail).  This gives a *sharp*
+    counterpart to Lemma 4's Chernoff bound, useful for choosing
+    thresholds in applications; tests validate it against simulation.
+    """
+    from scipy import stats
+
+    n = check_positive_int(n, "n")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    mean = expected_arcs_at_least(c, n)
+    return float(stats.poisson.sf(k - 1, mean))
+
+
+def sample_spacings(n: int, size: int = 1, seed=None) -> np.ndarray:
+    """Sample uniform-spacing vectors directly (Dirichlet(1,...,1)).
+
+    Returns shape ``(size, n)`` arrays of arc lengths summing to 1 —
+    equivalent in distribution to the arcs of ``n`` uniform points, and
+    the fast path for Monte-Carlo validation of Lemmas 4-6 without
+    constructing ring instances.
+    """
+    n = check_positive_int(n, "n")
+    size = check_positive_int(size, "size")
+    rng = resolve_rng(seed)
+    exp = rng.exponential(size=(size, n))
+    return exp / exp.sum(axis=1, keepdims=True)

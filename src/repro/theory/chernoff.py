@@ -1,0 +1,101 @@
+"""Concentration inequalities used throughout the paper's proofs.
+
+The paper leans on exactly two tools: the Chernoff bound in the specific
+form of its Lemma 2 (valid for sums of 0-1 variables that are
+independent *or negatively dependent*, the point of Lemma 3), and the
+Azuma–Hoeffding inequality for Doob martingales with a Lipschitz
+condition (Lemmas 5 and 9).  Exact binomial tails are provided so tests
+can confirm each bound actually dominates the truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "chernoff_lemma2",
+    "chernoff_multiplicative",
+    "azuma_tail",
+    "exact_binomial_tail",
+]
+
+
+def chernoff_lemma2(n: int, p: float) -> float:
+    """Lemma 2: ``Pr(B(n, p) >= 2 n p) <= exp(-n p / 3)``.
+
+    Valid for independent or negatively dependent 0-1 summands (the
+    negative-dependence extension is why Lemma 3 matters).
+
+    Examples
+    --------
+    >>> chernoff_lemma2(100, 0.5) <= math.exp(-100 * 0.5 / 3) + 1e-15
+    True
+    """
+    n = check_positive_int(n, "n")
+    p = check_probability(p, "p")
+    return math.exp(-n * p / 3.0)
+
+
+def chernoff_multiplicative(n: int, p: float, delta: float) -> float:
+    """Upper tail ``Pr(B(n,p) >= (1+delta) n p)`` multiplicative bound.
+
+    Uses ``exp(-mu delta^2 / 3)`` for ``0 < delta <= 1`` and the general
+    ``(e^delta / (1+delta)^(1+delta))^mu`` otherwise; Lemma 2 is the
+    ``delta = 1`` specialization (with constant 3).
+    """
+    n = check_positive_int(n, "n")
+    p = check_probability(p, "p")
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    mu = n * p
+    if delta <= 1.0:
+        return math.exp(-mu * delta * delta / 3.0)
+    return math.exp(mu * (delta - (1.0 + delta) * math.log1p(delta)))
+
+
+def azuma_tail(t: float, lipschitz, n_steps: int | None = None) -> float:
+    """One-sided Azuma–Hoeffding: ``Pr(X - E[X] >= t)``.
+
+    Parameters
+    ----------
+    t:
+        Deviation from the mean (must be > 0).
+    lipschitz:
+        Either a scalar ``c`` (all steps share the bound; requires
+        ``n_steps``) or a sequence of per-step bounds ``c_i``.
+    n_steps:
+        Number of martingale steps when ``lipschitz`` is scalar.
+
+    Notes
+    -----
+    Bound: ``exp(-t^2 / (2 * sum c_i^2))`` — the form used by Lemma 5
+    (``c_i = 2``) and Lemma 9 (``c_i = ln^3 n + 6``).
+    """
+    if t <= 0:
+        raise ValueError(f"t must be > 0, got {t}")
+    if isinstance(lipschitz, (int, float)):
+        if n_steps is None:
+            raise ValueError("n_steps is required when lipschitz is scalar")
+        n_steps = check_positive_int(n_steps, "n_steps")
+        if lipschitz <= 0:
+            raise ValueError(f"lipschitz must be > 0, got {lipschitz}")
+        ssq = n_steps * float(lipschitz) ** 2
+    else:
+        cs = [float(c) for c in lipschitz]
+        if not cs:
+            raise ValueError("lipschitz sequence must be non-empty")
+        if any(c <= 0 for c in cs):
+            raise ValueError("all lipschitz constants must be > 0")
+        ssq = sum(c * c for c in cs)
+    return math.exp(-t * t / (2.0 * ssq))
+
+
+def exact_binomial_tail(n: int, p: float, k: float) -> float:
+    """Exact ``Pr(B(n, p) >= k)`` via scipy (ground truth for tests)."""
+    n = check_positive_int(n, "n")
+    p = check_probability(p, "p")
+    return float(stats.binom.sf(math.ceil(k) - 1, n, p))

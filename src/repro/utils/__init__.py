@@ -1,0 +1,25 @@
+"""Shared utilities: deterministic RNG management, validation, timing.
+
+These helpers exist so that every stochastic component in :mod:`repro`
+draws randomness through a single, auditable channel
+(:func:`repro.utils.rng.resolve_rng`, :func:`repro.utils.rng.spawn_rngs`)
+and so that argument validation raises uniform, descriptive errors.
+"""
+
+from repro.utils.rng import resolve_rng, spawn_rngs, spawn_seed_sequences
+from repro.utils.validation import (
+    check_dimension,
+    check_positive_int,
+    check_probability,
+    check_unit_interval,
+)
+
+__all__ = [
+    "resolve_rng",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+    "check_dimension",
+    "check_positive_int",
+    "check_probability",
+    "check_unit_interval",
+]

@@ -1,0 +1,65 @@
+"""Lightweight timing helpers used by experiments and examples.
+
+The HPC guide's first rule is "no optimization without measuring"; the
+experiment drivers report wall-clock per cell so users can extrapolate
+to paper-scale runs before launching them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("setup"):
+    ...     pass
+    >>> "setup" in sw.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + time.perf_counter() - start
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+    def format(self) -> str:
+        if not self.laps:
+            return "(no laps)"
+        width = max(len(k) for k in self.laps)
+        lines = [f"{k:<{width}}  {v:10.4f}s" for k, v in self.laps.items()]
+        lines.append(f"{'total':<{width}}  {self.total:10.4f}s")
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed(label: str, sink=None):
+    """Context manager printing (or collecting) elapsed wall time."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        message = f"[{label}] {elapsed:.4f}s"
+        if sink is None:
+            print(message)
+        else:
+            sink(message)

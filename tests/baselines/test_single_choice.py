@@ -1,0 +1,73 @@
+"""Tests for the d = 1 regimes: Theta(log n) vs log n / log log n."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.single_choice import (
+    geometric_d1_scale,
+    simulate_single_choice,
+    uniform_d1_scale,
+)
+from repro.baselines.uniform import UniformSpace
+from repro.core.ring import RingSpace
+
+
+class TestScales:
+    def test_geometric_above_uniform(self):
+        """Theta(log n) dominates log n / log log n."""
+        for n in (2**10, 2**16, 2**24):
+            assert geometric_d1_scale(n) > uniform_d1_scale(n)
+
+    def test_uniform_heavy_regime(self):
+        v = uniform_d1_scale(2**16, m=100 * 2**16)
+        assert v > 100  # m/n term dominates
+
+    def test_geometric_scales_with_m(self):
+        assert geometric_d1_scale(2**10, m=2**12) == pytest.approx(
+            4 * geometric_d1_scale(2**10)
+        )
+
+    def test_reject_small_n(self):
+        with pytest.raises(ValueError):
+            uniform_d1_scale(8)
+
+
+class TestSimulation:
+    def test_returns_loads(self, small_ring):
+        loads = simulate_single_choice(small_ring, 200, seed=0)
+        assert loads.sum() == 200
+
+    def test_geometric_d1_worse_than_uniform_d1(self):
+        """Tables 1-2's motivation: the ring's d=1 max load exceeds the
+        uniform-bin one at the same size."""
+        n = 4096
+        ring_max = np.mean(
+            [
+                simulate_single_choice(
+                    RingSpace.random(n, seed=s), n, seed=100 + s
+                ).max()
+                for s in range(8)
+            ]
+        )
+        unif_max = np.mean(
+            [
+                simulate_single_choice(UniformSpace(n), n, seed=100 + s).max()
+                for s in range(8)
+            ]
+        )
+        assert ring_max > unif_max
+
+    def test_scale_brackets_simulation(self):
+        """Simulated geometric d=1 max within [0.4x, 2.5x] of ln n."""
+        n = 2**12
+        # NB: ball seed must differ from the placement seed — with the
+        # same generator stream every ball lands exactly on a server
+        # position and the load vector is degenerate.
+        maxima = [
+            simulate_single_choice(
+                RingSpace.random(n, seed=s), n, seed=1000 + s
+            ).max()
+            for s in range(10)
+        ]
+        scale = geometric_d1_scale(n)
+        assert 0.4 * scale <= np.mean(maxima) <= 2.5 * scale

@@ -1,0 +1,60 @@
+"""Tests for the classical uniform-bin baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.uniform import UniformSpace, abku_max_load
+from repro.core.placement import place_balls
+
+
+class TestUniformSpace:
+    def test_assign_blocks(self):
+        u = UniformSpace(4)
+        assert u.assign(np.array([0.0, 0.25, 0.5, 0.999])).tolist() == [0, 1, 2, 3]
+
+    def test_assign_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            UniformSpace(4).assign(np.array([1.0]))
+
+    def test_measures_uniform(self):
+        m = UniformSpace(8).region_measures()
+        assert np.allclose(m, 1 / 8)
+        assert m.sum() == pytest.approx(1.0)
+
+    def test_choice_bins_uniform_frequency(self, rng):
+        u = UniformSpace(16)
+        bins = u.sample_choice_bins(rng, 20_000, 1)
+        freq = np.bincount(bins[:, 0], minlength=16) / 20_000
+        assert np.abs(freq - 1 / 16).max() < 0.01
+
+    def test_partitioned_blocks(self, rng):
+        u = UniformSpace(8)
+        bins = u.sample_choice_bins(rng, 400, 2, partitioned=True)
+        assert np.all(bins[:, 0] < 4)
+        assert np.all(bins[:, 1] >= 4)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            UniformSpace(0)
+
+
+class TestAbkuBaseline:
+    def test_returns_max_load(self):
+        v = abku_max_load(512, seed=0)
+        assert isinstance(v, int) and v >= 1
+
+    def test_m_defaults_to_n(self):
+        # max load * n >= m guarantees all balls placed
+        u = UniformSpace(128)
+        res = place_balls(u, 128, 2, seed=1)
+        assert res.loads.sum() == 128
+
+    def test_two_choices_beat_one(self):
+        """Classical power of two choices, statistically robust margin."""
+        d1 = [abku_max_load(2048, d=1, seed=s) for s in range(10)]
+        d2 = [abku_max_load(2048, d=2, seed=s) for s in range(10)]
+        assert np.mean(d2) < np.mean(d1)
+
+    def test_d2_max_load_small(self):
+        """log log n / log 2 + O(1): should be <= 5 at n=4096."""
+        assert all(abku_max_load(4096, d=2, seed=s) <= 5 for s in range(10))

@@ -1,0 +1,108 @@
+"""Tests for the Chord virtual-server baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.virtual_servers import VirtualServerRing
+from repro.core.ring import RingSpace
+
+
+class TestConstruction:
+    def test_default_virtuals_log2(self):
+        assert VirtualServerRing(64, seed=0).virtuals == 6
+        assert VirtualServerRing(100, seed=0).virtuals == math.ceil(math.log2(100))
+
+    def test_explicit_virtuals(self):
+        v = VirtualServerRing(10, virtuals=3, seed=0)
+        assert v.ring.n == 30
+
+    def test_single_server(self):
+        v = VirtualServerRing(1, virtuals=1, seed=0)
+        assert v.physical_measures().tolist() == [1.0]
+
+    def test_owner_read_only(self):
+        v = VirtualServerRing(4, seed=0)
+        with pytest.raises(ValueError):
+            v.owner[0] = 2
+
+
+class TestMeasures:
+    def test_sum_to_one(self):
+        v = VirtualServerRing(32, seed=1)
+        assert v.physical_measures().sum() == pytest.approx(1.0)
+
+    def test_variance_reduction(self):
+        """The whole point: virtual servers concentrate total ownership."""
+        n = 256
+        plain_cv = []
+        virtual_cv = []
+        for seed in range(10):
+            plain = RingSpace.random(n, seed=seed).region_measures()
+            plain_cv.append(plain.std() / plain.mean())
+            pm = VirtualServerRing(n, seed=seed).physical_measures()
+            virtual_cv.append(pm.std() / pm.mean())
+        assert np.mean(virtual_cv) < 0.6 * np.mean(plain_cv)
+
+    def test_owner_mapping_consistent(self):
+        v = VirtualServerRing(8, virtuals=4, seed=2)
+        counts = np.bincount(v.owner, minlength=8)
+        assert counts.tolist() == [4] * 8
+
+
+class TestAssignAndPlacement:
+    def test_assign_matches_ring_then_owner(self, rng):
+        v = VirtualServerRing(16, seed=3)
+        pts = rng.random(50)
+        assert np.array_equal(v.assign(pts), v.owner[v.ring.assign(pts)])
+
+    def test_place_items_conserves(self):
+        v = VirtualServerRing(32, seed=4)
+        loads = v.place_items(500, seed=5)
+        assert loads.sum() == 500 and loads.shape == (32,)
+
+    def test_zero_items(self):
+        v = VirtualServerRing(8, seed=4)
+        assert v.place_items(0, seed=5).sum() == 0
+
+    def test_d1_matches_direct_hashing(self):
+        v = VirtualServerRing(16, seed=6)
+        loads = v.place_items(300, d=1, seed=7)
+        rng = np.random.default_rng(7)
+        expected = np.bincount(v.assign(rng.random((300, 1)).ravel()), minlength=16)
+        assert np.array_equal(loads, expected)
+
+    def test_virtuals_improve_d1_balance(self):
+        """Virtual servers should beat the plain ring at d = 1."""
+        n, m = 128, 1280
+        plain_max, virtual_max = [], []
+        for seed in range(8):
+            ring = RingSpace.random(n, seed=seed)
+            rng = np.random.default_rng(1000 + seed)
+            loads = np.bincount(ring.assign(rng.random(m)), minlength=n)
+            plain_max.append(loads.max())
+            v = VirtualServerRing(n, seed=seed)
+            virtual_max.append(v.place_items(m, d=1, seed=1000 + seed).max())
+        assert np.mean(virtual_max) < np.mean(plain_max)
+
+    def test_two_choices_beat_virtuals_alone(self):
+        """The paper's argument: d=2 on the plain ring balances at least
+        as well as log-n virtual servers at d=1."""
+        from repro.core.placement import place_balls
+
+        n, m = 128, 1280
+        v_max = [
+            VirtualServerRing(n, seed=s).place_items(m, d=1, seed=100 + s).max()
+            for s in range(8)
+        ]
+        two_max = [
+            place_balls(RingSpace.random(n, seed=s), m, 2, seed=100 + s).max_load
+            for s in range(8)
+        ]
+        assert np.mean(two_max) <= np.mean(v_max)
+
+    def test_d2_with_strategy(self):
+        v = VirtualServerRing(16, seed=8)
+        loads = v.place_items(200, d=2, strategy="smaller", seed=9)
+        assert loads.sum() == 200

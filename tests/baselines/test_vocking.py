@@ -1,0 +1,83 @@
+"""Tests for Vöcking's Always-Go-Left scheme and phi_d."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.uniform import UniformSpace
+from repro.baselines.vocking import (
+    always_go_left,
+    dbonacci_growth_rate,
+    vocking_bound,
+)
+from repro.core.ring import RingSpace
+from repro.core.strategies import TieBreak
+
+
+class TestDbonacciGrowthRate:
+    def test_phi2_is_golden_ratio(self):
+        assert dbonacci_growth_rate(2) == pytest.approx(
+            (1 + math.sqrt(5)) / 2, abs=1e-10
+        )
+
+    def test_phi3_tribonacci(self):
+        assert dbonacci_growth_rate(3) == pytest.approx(1.839286755, abs=1e-6)
+
+    def test_increasing_toward_two(self):
+        vals = [dbonacci_growth_rate(d) for d in range(2, 9)]
+        assert vals == sorted(vals)
+        assert all(1 < v < 2 for v in vals)
+
+    def test_satisfies_characteristic_equation(self):
+        for d in (2, 3, 4, 5):
+            x = dbonacci_growth_rate(d)
+            assert x**d == pytest.approx(sum(x**k for k in range(d)), abs=1e-8)
+
+    def test_rejects_d1(self):
+        with pytest.raises(ValueError):
+            dbonacci_growth_rate(1)
+
+
+class TestVockingBound:
+    def test_beats_theorem1_leading_term(self):
+        from repro.theory.recursion import theorem1_leading_term
+
+        for d in (2, 3, 4):
+            assert vocking_bound(2**20, d) < theorem1_leading_term(2**20, d)
+
+    def test_decreasing_in_d(self):
+        vals = [vocking_bound(2**20, d) for d in (2, 3, 4)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            vocking_bound(2, 2)
+        with pytest.raises(ValueError):
+            vocking_bound(2**10, 1)
+
+
+class TestAlwaysGoLeft:
+    def test_configures_placement(self):
+        res = always_go_left(RingSpace.random(128, seed=0), 128, seed=1)
+        assert res.partitioned is True
+        assert res.strategy is TieBreak.FIRST
+        assert res.loads.sum() == 128
+
+    def test_rejects_d1(self):
+        with pytest.raises(ValueError, match="d >= 2"):
+            always_go_left(RingSpace.random(16, seed=0), 16, d=1)
+
+    def test_not_worse_than_random_ties_on_uniform(self):
+        """AGL's guarantee is asymptotically stronger; check it is at
+        least statistically not worse here."""
+        n = 2048
+        agl = np.mean(
+            [always_go_left(UniformSpace(n), n, seed=s).max_load for s in range(12)]
+        )
+        from repro.core.placement import place_balls
+
+        rnd = np.mean(
+            [place_balls(UniformSpace(n), n, 2, seed=s).max_load for s in range(12)]
+        )
+        assert agl <= rnd + 0.5

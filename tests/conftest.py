@@ -1,0 +1,45 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.ring import RingSpace
+from repro.core.torus import TorusSpace
+
+# Deterministic property testing: same examples every run, and no
+# wall-clock health checks (CI boxes and laptops under load would flake
+# otherwise -- the suites' statistical assertions are all seeded).
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_ring():
+    """A 64-server ring, fixed placement."""
+    return RingSpace.random(64, seed=7)
+
+
+@pytest.fixture
+def small_torus():
+    """A 64-server 2-torus, fixed placement."""
+    return TorusSpace.random(64, dim=2, seed=7)
+
+
+@pytest.fixture
+def medium_ring():
+    """A 4096-server ring (batched-engine territory)."""
+    return RingSpace.random(4096, seed=11)

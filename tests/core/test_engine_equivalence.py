@@ -1,0 +1,100 @@
+"""Property tests: the two engines are bit-for-bit the same process.
+
+This is the load-bearing guarantee of the whole simulation layer
+(DESIGN.md decision 1): the vectorized engine may only reorganize
+arithmetic, never change results.  We drive both engines over random
+shapes, strategies, spaces and batch sizes and require exact equality
+of load vectors *and* per-ball heights.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import run_batched, run_sequential
+from repro.core.ring import RingSpace
+from repro.core.strategies import TieBreak
+from repro.core.torus import TorusSpace
+from repro.baselines.uniform import UniformSpace
+from repro.utils.rng import resolve_rng
+
+
+def _space(kind: str, n: int, seed: int):
+    if kind == "ring":
+        return RingSpace.random(n, seed=seed)
+    if kind == "torus":
+        return TorusSpace.random(n, dim=2, seed=seed)
+    return UniformSpace(n)
+
+
+@st.composite
+def _scenario(draw):
+    kind = draw(st.sampled_from(["ring", "torus", "uniform"]))
+    n = draw(st.integers(1, 400))
+    m = draw(st.integers(0, 500))
+    d = draw(st.integers(1, 4))
+    strategy = draw(st.sampled_from(list(TieBreak)))
+    partitioned = draw(st.booleans())
+    batch_size = draw(st.sampled_from([1, 2, 7, 64, 1024]))
+    space_seed = draw(st.integers(0, 2**16))
+    ball_seed = draw(st.integers(0, 2**16))
+    return kind, n, m, d, strategy, partitioned, batch_size, space_seed, ball_seed
+
+
+class TestEngineEquivalence:
+    @given(_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise_identical(self, scenario):
+        (kind, n, m, d, strategy, partitioned, batch_size,
+         space_seed, ball_seed) = scenario
+        space = _space(kind, n, space_seed)
+        seq_loads, seq_heights = run_sequential(
+            space, m, d, strategy, resolve_rng(ball_seed),
+            partitioned=partitioned, record_heights=True,
+        )
+        bat_loads, bat_heights = run_batched(
+            space, m, d, strategy, resolve_rng(ball_seed),
+            partitioned=partitioned, batch_size=batch_size,
+            record_heights=True,
+        )
+        assert np.array_equal(seq_loads, bat_loads)
+        assert np.array_equal(seq_heights, bat_heights)
+
+    def test_batch_size_one_matches(self, small_ring):
+        """batch_size=1 degenerates to per-ball stepping."""
+        a, _ = run_batched(
+            small_ring, 300, 2, TieBreak.RANDOM, resolve_rng(1), batch_size=1
+        )
+        b, _ = run_sequential(small_ring, 300, 2, TieBreak.RANDOM, resolve_rng(1))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("strategy", list(TieBreak))
+    def test_medium_scale_all_strategies(self, medium_ring, strategy):
+        m = medium_ring.n
+        a, _ = run_sequential(medium_ring, m, 2, strategy, resolve_rng(9))
+        b, _ = run_batched(medium_ring, m, 2, strategy, resolve_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_rng_block_boundary_crossing(self, small_ring):
+        """Placements spanning several RNG blocks stay identical."""
+        m = 5 * 1000 + 37
+        a, _ = run_sequential(
+            small_ring, m, 2, TieBreak.RANDOM, resolve_rng(4), rng_block=1000
+        )
+        b, _ = run_batched(
+            small_ring, m, 2, TieBreak.RANDOM, resolve_rng(4), rng_block=1000
+        )
+        assert np.array_equal(a, b)
+
+    def test_same_seed_same_result_repeated(self, medium_ring):
+        runs = [
+            run_batched(medium_ring, 2000, 3, TieBreak.RANDOM, resolve_rng(7))[0]
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_different_seeds_differ(self, medium_ring):
+        a, _ = run_batched(medium_ring, 4096, 2, TieBreak.RANDOM, resolve_rng(1))
+        b, _ = run_batched(medium_ring, 4096, 2, TieBreak.RANDOM, resolve_rng(2))
+        assert not np.array_equal(a, b)

@@ -1,0 +1,80 @@
+"""Tests for load statistics: histograms, nu profiles, heights."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loads import (
+    height_counts_from_loads,
+    load_histogram,
+    load_imbalance,
+    max_load,
+    nu_profile,
+)
+
+
+class TestLoadHistogram:
+    def test_basic(self):
+        assert load_histogram([0, 2, 2, 1]).tolist() == [1, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            load_histogram([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            load_histogram([1, -1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            load_histogram(np.zeros((2, 2)))
+
+
+class TestNuProfile:
+    def test_basic(self):
+        assert nu_profile([0, 2, 2, 1]).tolist() == [4, 3, 2]
+
+    def test_nu0_is_n(self):
+        assert nu_profile([5, 0, 1])[0] == 3
+
+    def test_monotone_nonincreasing(self):
+        nu = nu_profile([3, 1, 4, 1, 5])
+        assert all(nu[i] >= nu[i + 1] for i in range(len(nu) - 1))
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_matches_direct_count(self, loads):
+        nu = nu_profile(loads)
+        arr = np.array(loads)
+        for i in range(len(nu)):
+            assert nu[i] == (arr >= i).sum()
+
+
+class TestHeightCounts:
+    def test_basic(self):
+        assert height_counts_from_loads([0, 2, 2, 1]).tolist() == [0, 3, 2]
+
+    def test_index_zero_always_zero(self):
+        assert height_counts_from_loads([4])[0] == 0
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_heights_sum_to_balls(self, loads):
+        """Every ball has exactly one height."""
+        counts = height_counts_from_loads(loads)
+        assert counts.sum() == sum(loads)
+
+
+class TestMaxLoadAndImbalance:
+    def test_max_load(self):
+        assert max_load([1, 5, 2]) == 5
+
+    def test_imbalance_balanced(self):
+        assert load_imbalance([2, 2, 2]) == pytest.approx(1.0)
+
+    def test_imbalance_zero_loads(self):
+        assert load_imbalance([0, 0]) == 0.0
+
+    def test_imbalance_value(self):
+        assert load_imbalance([0, 4]) == pytest.approx(2.0)

@@ -1,0 +1,75 @@
+"""Tests for the place_balls facade and PlacementResult."""
+
+import numpy as np
+import pytest
+
+from repro.core import RingSpace, TieBreak, place_balls
+from repro.core.placement import PlacementResult
+
+
+class TestPlaceBalls:
+    def test_result_fields(self, small_ring):
+        res = place_balls(small_ring, 100, 2, seed=1)
+        assert res.m == 100 and res.d == 2
+        assert res.n == small_ring.n
+        assert res.loads.sum() == 100
+        assert res.strategy is TieBreak.RANDOM
+
+    def test_engine_auto_picks_by_size(self, small_ring, medium_ring):
+        assert place_balls(small_ring, 10, 2, seed=0).engine == "sequential"
+        assert place_balls(medium_ring, 10, 2, seed=0).engine == "batched"
+
+    def test_explicit_engines_agree(self, medium_ring):
+        a = place_balls(medium_ring, 1000, 2, seed=3, engine="sequential")
+        b = place_balls(medium_ring, 1000, 2, seed=3, engine="batched")
+        assert np.array_equal(a.loads, b.loads)
+
+    def test_invalid_engine(self, small_ring):
+        with pytest.raises(ValueError, match="engine must be"):
+            place_balls(small_ring, 10, 2, engine="warp")
+
+    def test_strategy_string_coerced(self, small_ring):
+        res = place_balls(small_ring, 10, 2, strategy="smaller", seed=0)
+        assert res.strategy is TieBreak.SMALLER
+
+    def test_record_heights(self, small_ring):
+        res = place_balls(small_ring, 50, 2, seed=1, record_heights=True)
+        assert res.heights is not None and res.heights.shape == (50,)
+
+    def test_heights_none_by_default(self, small_ring):
+        assert place_balls(small_ring, 50, 2, seed=1).heights is None
+
+    def test_more_choices_never_hurt_much(self, medium_ring):
+        """Statistical sanity: d=2 beats d=1 by a wide margin at n=4096."""
+        d1 = place_balls(medium_ring, medium_ring.n, 1, seed=5).max_load
+        d2 = place_balls(medium_ring, medium_ring.n, 2, seed=5).max_load
+        assert d2 < d1
+
+    def test_seed_reproducibility(self, small_ring):
+        a = place_balls(small_ring, 64, 2, seed=42)
+        b = place_balls(small_ring, 64, 2, seed=42)
+        assert np.array_equal(a.loads, b.loads)
+
+
+class TestPlacementResult:
+    def test_accounting_check(self):
+        with pytest.raises(ValueError, match="accounting"):
+            PlacementResult(
+                loads=np.array([1, 1]), m=3, d=2, strategy=TieBreak.RANDOM
+            )
+
+    def test_statistics(self, small_ring):
+        res = place_balls(small_ring, 128, 2, seed=2)
+        hist = res.load_histogram()
+        nu = res.nu_profile()
+        assert hist.sum() == small_ring.n
+        assert nu[0] == small_ring.n
+        assert res.max_load == len(hist) - 1
+        assert res.imbalance == pytest.approx(res.max_load / (128 / small_ring.n))
+
+    def test_height_counts_match_nu(self, small_ring):
+        res = place_balls(small_ring, 128, 2, seed=2)
+        nu = res.nu_profile()
+        hc = res.height_counts()
+        assert hc[0] == 0
+        assert np.array_equal(hc[1:], nu[1:])

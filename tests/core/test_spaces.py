@@ -1,0 +1,72 @@
+"""Space-protocol conformance: one parametrized suite over every space.
+
+Any class implementing :class:`GeometricSpace` must satisfy these
+contracts for the engines and the theory to be valid on it; adding a
+new space means adding one fixture line here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.uniform import UniformSpace
+from repro.core.ring import RingSpace
+from repro.core.spaces import GeometricSpace
+from repro.core.torus import TorusSpace
+from repro.dht.can import CanSpace
+
+SPACE_FACTORIES = {
+    "ring": lambda n: RingSpace.random(n, seed=123),
+    "torus2": lambda n: TorusSpace.random(n, dim=2, seed=123),
+    "torus3": lambda n: TorusSpace.random(n, dim=3, seed=123),
+    "uniform": lambda n: UniformSpace(n),
+    "can": lambda n: CanSpace.random(n, dim=2, seed=123),
+}
+
+
+@pytest.fixture(params=list(SPACE_FACTORIES), ids=list(SPACE_FACTORIES))
+def space(request):
+    return SPACE_FACTORIES[request.param](48)
+
+
+class TestSpaceProtocol:
+    def test_is_geometric_space(self, space):
+        assert isinstance(space, GeometricSpace)
+        assert space.n == space.n_bins == 48
+
+    def test_choice_bins_shape_and_range(self, space, rng):
+        bins = space.sample_choice_bins(rng, 33, 3)
+        assert bins.shape == (33, 3)
+        assert bins.dtype == np.int64
+        assert bins.min() >= 0 and bins.max() < space.n
+
+    def test_choice_bins_zero_m(self, space, rng):
+        assert space.sample_choice_bins(rng, 0, 2).shape == (0, 2)
+
+    def test_measures_are_probabilities(self, space):
+        m = space.region_measures()
+        if space.n > 1 and hasattr(space, "dim") and space.dim == 3:
+            # Monte-Carlo measures: looser tolerance
+            assert m.sum() == pytest.approx(1.0, abs=1e-6)
+        else:
+            assert m.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(m >= 0)
+        assert m.shape == (space.n,)
+
+    def test_choice_probabilities_alias(self, space):
+        assert np.array_equal(space.choice_probabilities(), space.region_measures())
+
+    def test_choices_follow_measures(self, space, rng):
+        """Empirical probe frequencies must match region measures --
+        the identity on which the whole analysis rests."""
+        bins = space.sample_choice_bins(rng, 60_000, 1)[:, 0]
+        freq = np.bincount(bins, minlength=space.n) / 60_000
+        # 5 sigma on a multinomial cell with p ~ 1/48
+        tol = 5 * np.sqrt((1 / 48) / 60_000) + 0.01
+        assert np.abs(freq - space.region_measures()).max() < tol
+
+    def test_partitioned_sampling_accepted(self, space, rng):
+        bins = space.sample_choice_bins(rng, 10, 2, partitioned=True)
+        assert bins.shape == (10, 2)
+
+    def test_repr_mentions_n(self, space):
+        assert "48" in repr(space)

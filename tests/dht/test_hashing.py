@@ -1,0 +1,72 @@
+"""Tests for deterministic DHT hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.hashing import RING_BITS, RING_SIZE, hash_to_unit, key_id, multi_hash
+
+
+class TestKeyId:
+    def test_deterministic(self):
+        assert key_id("alice") == key_id("alice")
+
+    def test_str_bytes_equivalent(self):
+        assert key_id("alice") == key_id(b"alice")
+
+    def test_salt_changes_value(self):
+        assert key_id("alice", salt=0) != key_id("alice", salt=1)
+
+    def test_fits_ring(self):
+        assert 0 <= key_id("x") < RING_SIZE
+
+    def test_rejects_bad_types(self):
+        with pytest.raises(TypeError):
+            key_id(42)
+
+    def test_rejects_negative_salt(self):
+        with pytest.raises(ValueError):
+            key_id("x", salt=-1)
+
+    @given(st.text(max_size=64))
+    @settings(max_examples=50)
+    def test_always_in_range(self, s):
+        assert 0 <= key_id(s) < RING_SIZE
+
+
+class TestHashToUnit:
+    def test_range(self):
+        for k in ("a", "b", "c"):
+            assert 0.0 <= hash_to_unit(k) < 1.0
+
+    def test_matches_key_id(self):
+        assert hash_to_unit("k") == key_id("k") / RING_SIZE
+
+    def test_approximately_uniform(self):
+        vals = np.array([hash_to_unit(f"key{i}") for i in range(4000)])
+        # crude uniformity: mean ~ 0.5, each decile ~ 10%
+        assert abs(vals.mean() - 0.5) < 0.02
+        hist, _ = np.histogram(vals, bins=10, range=(0, 1))
+        assert hist.min() > 300
+
+
+class TestMultiHash:
+    def test_shape_and_dtype(self):
+        ids = multi_hash("k", 3)
+        assert ids.shape == (3,) and ids.dtype == np.uint64
+
+    def test_choices_are_distinct_salts(self):
+        ids = multi_hash("k", 4)
+        assert len(set(ids.tolist())) == 4
+
+    def test_first_matches_default_salt(self):
+        assert int(multi_hash("k", 2)[0]) == key_id("k")
+
+    def test_rejects_zero_d(self):
+        with pytest.raises(ValueError):
+            multi_hash("k", 0)
+
+    def test_ring_bits_constant(self):
+        """Changing RING_BITS invalidates stored topologies."""
+        assert RING_BITS == 64

@@ -1,0 +1,84 @@
+"""Model-based stateful testing of the two-choice DHT.
+
+Hypothesis drives random insert/lookup/remove sequences against
+:class:`TwoChoiceDHT` and a plain dict oracle; any divergence (wrong
+value, phantom key, lost key, broken redirect) fails with a minimal
+reproducing program.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.dht.chord import ChordRing
+from repro.dht.twochoice import TwoChoiceDHT
+
+KEYS = st.text(
+    alphabet="abcdefghij0123456789:-", min_size=1, max_size=16
+)
+
+
+class DhtModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.dht = TwoChoiceDHT(ChordRing.random(24, seed=99), d=2, seed=7)
+        self.oracle: dict[str, int] = {}
+        self.counter = 0
+
+    inserted = Bundle("inserted")
+
+    @rule(target=inserted, key=KEYS)
+    def insert(self, key):
+        self.counter += 1
+        self.dht.insert(key, self.counter)
+        self.oracle[key] = self.counter
+        return key
+
+    @rule(key=inserted)
+    def lookup_present(self, key):
+        if key in self.oracle:
+            assert self.dht.lookup(key) == self.oracle[key]
+            assert self.dht.lookup(key, probe_all=True) == self.oracle[key]
+        else:
+            with pytest.raises(KeyError):
+                self.dht.lookup(key)
+
+    @rule(key=KEYS)
+    def lookup_arbitrary(self, key):
+        if key in self.oracle:
+            assert self.dht.lookup(key) == self.oracle[key]
+        else:
+            with pytest.raises(KeyError):
+                self.dht.lookup(key)
+
+    @rule(key=inserted)
+    def remove(self, key):
+        if key in self.oracle:
+            self.dht.remove(key)
+            del self.oracle[key]
+        else:
+            with pytest.raises(KeyError):
+                self.dht.remove(key)
+
+    @invariant()
+    def loads_match_oracle_size(self):
+        assert int(self.dht.loads().sum()) == len(self.oracle)
+
+    @invariant()
+    def max_load_bounded(self):
+        # with d = 2 on 24 nodes the primary max should never blow past
+        # a generous multiple of the mean
+        if len(self.oracle) >= 24:
+            assert self.dht.max_load() <= 4 * (len(self.oracle) / 24) + 4
+
+
+TestDhtModel = DhtModel.TestCase
+TestDhtModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

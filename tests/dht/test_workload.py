@@ -1,0 +1,55 @@
+"""Tests for DHT workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.dht.workload import generate_keys, zipf_lookups
+
+
+class TestGenerateKeys:
+    def test_count_and_uniqueness(self):
+        keys = generate_keys(500, seed=0)
+        assert len(keys) == 500
+        assert len(set(keys)) == 500
+
+    def test_deterministic(self):
+        assert generate_keys(10, seed=1) == generate_keys(10, seed=1)
+
+    def test_prefix(self):
+        assert all(k.startswith("user:") for k in generate_keys(5, seed=0, prefix="user"))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            generate_keys(0)
+
+
+class TestZipfLookups:
+    def test_length(self):
+        keys = generate_keys(50, seed=0)
+        stream = zipf_lookups(keys, 300, seed=1)
+        assert len(stream) == 300
+        assert set(stream) <= set(keys)
+
+    def test_rank_zero_most_popular(self):
+        keys = generate_keys(100, seed=2)
+        stream = zipf_lookups(keys, 5000, exponent=1.2, seed=3)
+        counts = {k: 0 for k in keys}
+        for k in stream:
+            counts[k] += 1
+        assert counts[keys[0]] > counts[keys[50]]
+
+    def test_higher_exponent_more_skew(self):
+        keys = generate_keys(100, seed=4)
+        mild = zipf_lookups(keys, 3000, exponent=0.5, seed=5)
+        harsh = zipf_lookups(keys, 3000, exponent=2.0, seed=5)
+        top_mild = np.mean([k == keys[0] for k in mild])
+        top_harsh = np.mean([k == keys[0] for k in harsh])
+        assert top_harsh > top_mild
+
+    def test_rejects_empty_keys(self):
+        with pytest.raises(ValueError):
+            zipf_lookups([], 10)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_lookups(["a"], 10, exponent=0.0)

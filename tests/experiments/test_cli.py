@@ -1,0 +1,48 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig1_lemma8" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_small_experiment(self, capsys, monkeypatch):
+        # shrink the default sweep so the CLI test is fast
+        import repro.experiments.table1 as t1
+
+        monkeypatch.setattr(t1, "DEFAULT_N_VALUES", (2**7,))
+        assert main(["table1", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "d = 4" in out
+
+    def test_seed_flag(self, capsys, monkeypatch):
+        import re
+
+        import repro.experiments.table1 as t1
+
+        def strip_timing(text: str) -> str:
+            # the report header embeds wall-clock seconds; ignore it
+            return re.sub(r"seconds=[0-9.]+", "seconds=X", text)
+
+        monkeypatch.setattr(t1, "DEFAULT_N_VALUES", (2**7,))
+        assert main(["table1", "--trials", "2", "--seed", "9"]) == 0
+        first = capsys.readouterr().out
+        assert main(["table1", "--trials", "2", "--seed", "9"]) == 0
+        assert strip_timing(capsys.readouterr().out) == strip_timing(first)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.trials is None and args.jobs == 1 and not args.full

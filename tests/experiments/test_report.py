@@ -1,0 +1,71 @@
+"""Tests for the report containers."""
+
+import pytest
+
+from repro.experiments.report import ExperimentReport, TextReport
+from repro.stats.distributions import MaxLoadDistribution
+
+
+def _report(**overrides):
+    cells = {
+        (256, 1): MaxLoadDistribution.from_samples([7, 8, 8]),
+        (256, 2): MaxLoadDistribution.from_samples([4]),
+    }
+    kwargs = dict(
+        name="t",
+        title="Title",
+        cells=cells,
+        row_keys=[256],
+        col_keys=[1, 2],
+        col_label=lambda d: f"d = {d}",
+        meta={"trials": 3},
+    )
+    kwargs.update(overrides)
+    return ExperimentReport(**kwargs)
+
+
+class TestExperimentReport:
+    def test_render_contains_meta(self):
+        text = _report().render()
+        assert "Title" in text and "trials=3" in text
+
+    def test_modes(self):
+        assert _report().modes() == {(256, 1): 8, (256, 2): 4}
+
+    def test_missing_cells_skipped_in_summary(self):
+        rep = _report(col_keys=[1, 2, 3])
+        lines = rep.summary_lines()
+        assert len(lines) == 2  # only existing cells
+
+    def test_custom_row_label(self):
+        rep = _report(row_label=lambda r: f"N{r}")
+        assert "N256" in rep.render()
+        assert any("N256" in line for line in rep.summary_lines())
+
+    def test_min_pct_passthrough(self):
+        cells = {(1, 1): MaxLoadDistribution.from_samples([3] * 99 + [9])}
+        rep = _report(cells=cells, row_keys=[1], col_keys=[1])
+        full = rep.render()
+        trimmed = rep.render(min_pct=5.0)
+        assert len(trimmed) < len(full)
+
+
+class TestTextReport:
+    def test_render(self):
+        rep = TextReport(
+            name="x",
+            title="T",
+            lines=["a", "b"],
+            data={"k": 1},
+            meta={"n": 5},
+        )
+        text = rep.render()
+        assert text == "T\n(n=5)\na\nb\n"
+
+    def test_render_without_meta(self):
+        rep = TextReport(name="x", title="T", lines=["a"])
+        assert rep.render() == "T\na\n"
+
+    def test_summary_lines_prefixed(self):
+        rep = TextReport(name="x", title="T", lines=["a", "b"])
+        assert rep.summary_lines() == ["x: a", "x: b"]

@@ -1,0 +1,51 @@
+"""Tests for the run-everything harness."""
+
+import os
+
+import pytest
+
+from repro.experiments.run_all import DEFAULT_PLAN, run_all
+
+
+class TestRunAll:
+    def test_plan_covers_all_tables(self):
+        driver_ids = {d for d, _ in DEFAULT_PLAN.values()}
+        assert {"table1", "table2", "table3", "fig1_lemma8"} <= driver_ids
+
+    def test_writes_files(self, tmp_path):
+        plan = {
+            "mini1": ("table1", dict(trials=2, n_values=(64,))),
+            "mini_lemmas": (
+                "fig1_lemma8",
+                dict(n=128, trials=2, ring_trials=20),
+            ),
+        }
+        messages = []
+        written = run_all(
+            str(tmp_path), plan=plan, progress=messages.append
+        )
+        assert set(written) == {"mini1", "mini_lemmas"}
+        for path in written.values():
+            assert os.path.exists(path)
+            text = open(path).read()
+            assert "wall-clock" in text
+        assert len(messages) == 2
+
+    def test_trials_override(self, tmp_path):
+        plan = {"mini": ("table1", dict(trials=99, n_values=(64,)))}
+        run_all(str(tmp_path), plan=plan, trials=3, progress=lambda _: None)
+        text = open(tmp_path / "mini.txt").read()
+        assert "trials=3" in text
+
+    def test_cli_all(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+        import repro.experiments.run_all as ra
+
+        mini_plan = {"mini": ("table1", dict(trials=2, n_values=(64,)))}
+        original = ra.DEFAULT_PLAN
+        ra.DEFAULT_PLAN = mini_plan
+        try:
+            assert main(["all", "--out", str(tmp_path / "o")]) == 0
+        finally:
+            ra.DEFAULT_PLAN = original
+        assert (tmp_path / "o" / "mini.txt").exists()

@@ -1,0 +1,61 @@
+"""Tests for point-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.geo2d.pointsets import clustered_points, grid_points, uniform_points
+
+
+class TestUniformPoints:
+    def test_shape_and_range(self):
+        pts = uniform_points(100, dim=3, seed=0)
+        assert pts.shape == (100, 3)
+        assert np.all((pts >= 0) & (pts < 1))
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_points(5, seed=1), uniform_points(5, seed=1))
+
+
+class TestGridPoints:
+    def test_exact_grid(self):
+        pts = grid_points(2)
+        assert pts.shape == (4, 2)
+        assert sorted(map(tuple, pts.tolist())) == [
+            (0.25, 0.25), (0.25, 0.75), (0.75, 0.25), (0.75, 0.75),
+        ]
+
+    def test_3d_grid_count(self):
+        assert grid_points(3, dim=3).shape == (27, 3)
+
+    def test_jitter_stays_in_torus(self):
+        pts = grid_points(4, jitter=0.5, seed=2)
+        assert np.all((pts >= 0) & (pts < 1))
+
+    def test_jitter_changes_positions(self):
+        assert not np.allclose(grid_points(4), grid_points(4, jitter=0.2, seed=3))
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            grid_points(4, jitter=-0.1)
+
+
+class TestClusteredPoints:
+    def test_shape_and_range(self):
+        pts = clustered_points(200, seed=4)
+        assert pts.shape == (200, 2)
+        assert np.all((pts >= 0) & (pts < 1))
+
+    def test_clustering_is_real(self):
+        """Clustered points have much lower nearest-neighbor distance
+        spread than uniform ones."""
+        from scipy.spatial import cKDTree
+
+        uni = uniform_points(500, seed=5)
+        clu = clustered_points(500, n_clusters=4, spread=0.02, seed=5)
+        d_uni = cKDTree(uni, boxsize=1.0).query(uni, k=2)[0][:, 1].mean()
+        d_clu = cKDTree(clu, boxsize=1.0).query(clu, k=2)[0][:, 1].mean()
+        assert d_clu < d_uni
+
+    def test_rejects_bad_spread(self):
+        with pytest.raises(ValueError):
+            clustered_points(10, spread=0.0)

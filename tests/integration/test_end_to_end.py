@@ -1,0 +1,115 @@
+"""Integration tests spanning the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import RingSpace, TorusSpace, place_balls
+from repro.baselines.uniform import UniformSpace
+from repro.baselines.virtual_servers import VirtualServerRing
+from repro.dht.chord import ChordRing
+from repro.dht.twochoice import TwoChoiceDHT
+from repro.dht.workload import generate_keys, zipf_lookups
+from repro.geo2d.atm import AtmAssignmentModel
+from repro.geo2d.pointsets import uniform_points
+from repro.theory.fluid import fluid_limit_tails
+from repro.theory.recursion import practical_predicted_max_load
+
+
+class TestTheorem1EndToEnd:
+    """The headline claim, executed: geometric spaces enjoy the same
+    double-logarithmic maximum as uniform bins."""
+
+    N = 2**13
+    TRIALS = 12
+
+    def _maxima(self, make_space, d):
+        out = []
+        for s in range(self.TRIALS):
+            space = make_space(s)
+            out.append(place_balls(space, self.N, d, seed=10_000 + s).max_load)
+        return np.array(out)
+
+    def test_geometric_matches_uniform_at_d2(self):
+        ring = self._maxima(lambda s: RingSpace.random(self.N, seed=s), 2)
+        unif = self._maxima(lambda s: UniformSpace(self.N), 2)
+        # Theorem 1: same log log scale; the O(1) gap observed in the
+        # paper's own tables is ~1 (e.g. mode 4 vs 3 at 2^12)
+        assert ring.mean() <= unif.mean() + 1.6
+        assert ring.max() <= unif.max() + 3
+
+    def test_torus_matches_ring_at_d2(self):
+        ring = self._maxima(lambda s: RingSpace.random(self.N, seed=s), 2)
+        torus = self._maxima(lambda s: TorusSpace.random(self.N, seed=s), 2)
+        assert abs(ring.mean() - torus.mean()) <= 1.5
+
+    def test_d1_gap_is_qualitative(self):
+        """At d=1 the geometric setting is strictly worse than uniform;
+        at d=2 the gap collapses -- the paper's whole point."""
+        ring1 = self._maxima(lambda s: RingSpace.random(self.N, seed=s), 1)
+        unif1 = self._maxima(lambda s: UniformSpace(self.N), 1)
+        ring2 = self._maxima(lambda s: RingSpace.random(self.N, seed=s), 2)
+        unif2 = self._maxima(lambda s: UniformSpace(self.N), 2)
+        assert ring1.mean() > unif1.mean() + 2.0
+        assert ring2.mean() <= unif2.mean() + 1.6
+
+    def test_practical_predictor_upper_bounds_simulation(self):
+        pred = practical_predicted_max_load(self.N, 2)
+        sim = self._maxima(lambda s: RingSpace.random(self.N, seed=s), 2)
+        assert sim.max() <= pred
+
+    def test_fluid_limit_tracks_uniform_histogram(self):
+        """Fraction of bins with load >= i vs the ODE prediction."""
+        n = 2**14
+        res = place_balls(UniformSpace(n), n, 2, seed=77)
+        nu = res.nu_profile() / n
+        s = fluid_limit_tails(2, 1.0)
+        for i in (1, 2, 3):
+            assert nu[i] == pytest.approx(s[i], abs=0.02)
+
+
+class TestDhtScenario:
+    """A realistic DHT session: build, load, serve, churn."""
+
+    def test_full_lifecycle(self):
+        ring = ChordRing.from_names([f"node-{i}" for i in range(100)])
+        dht = TwoChoiceDHT(ring, d=2, seed=5)
+        keys = generate_keys(1000, seed=6)
+        for k in keys:
+            dht.insert(k, hash(k))
+        # serve a skewed lookup stream
+        for k in zipf_lookups(keys, 500, seed=7):
+            assert dht.lookup(k) == hash(k)
+        # balance: max primary load far below the d=1 Theta(log n) level
+        loads = dht.loads()
+        assert loads.sum() == 1000
+        assert loads.max() <= 3 * (1000 / 100)
+        # routing stayed logarithmic
+        assert dht.stats.mean_lookup_hops <= 2 * np.log2(100)
+
+    def test_two_choice_vs_virtual_servers(self):
+        """The paper's systems argument, end to end: similar balance,
+        log-factor less routing state."""
+        n, m = 128, 2560
+        vs = VirtualServerRing(n, seed=1)
+        vs_loads = vs.place_items(m, d=1, seed=2)
+        dht = TwoChoiceDHT(ChordRing.random(n, seed=1), d=2, seed=2)
+        for k in generate_keys(m, seed=3):
+            dht.insert(k)
+        tc_loads = dht.loads()
+        assert tc_loads.max() <= vs_loads.max() + 2
+        # state: virtual servers multiply ring entries by ~log2(n)
+        assert vs.ring.n == n * vs.virtuals
+        assert dht.ring.n == n
+
+
+class TestAtmScenario:
+    def test_bank_example(self):
+        machines = uniform_points(100, seed=0)
+        model = AtmAssignmentModel(machines)
+        m = 2000
+        home = uniform_points(m, seed=1)
+        work = uniform_points(m, seed=2)
+        one = model.assign(home, seed=3)
+        two = model.assign(np.stack([home, work], axis=1), seed=3)
+        assert one.loads.sum() == two.loads.sum() == m
+        assert two.max_load < one.max_load

@@ -1,0 +1,67 @@
+"""Tests for Wilson intervals and frequency compatibility."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.confidence import frequencies_compatible, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(70, 100)
+        assert lo < 0.7 < hi
+
+    def test_extreme_zero(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0 and 0 < hi < 0.15
+
+    def test_extreme_all(self):
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0 and 0.85 < lo < 1.0
+
+    def test_narrows_with_trials(self):
+        w1 = wilson_interval(50, 100)
+        w2 = wilson_interval(500, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_rejects_successes_gt_trials(self):
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_rejects_bad_z(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, z=0)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    @settings(max_examples=100)
+    def test_always_valid_interval(self, s, n):
+        if s > n:
+            return
+        lo, hi = wilson_interval(s, n)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should cover the true p."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        p, n, reps = 0.3, 120, 400
+        hits = 0
+        for _ in range(reps):
+            s = rng.binomial(n, p)
+            lo, hi = wilson_interval(int(s), n)
+            hits += lo <= p <= hi
+        assert hits / reps > 0.9
+
+
+class TestFrequenciesCompatible:
+    def test_same_proportion_compatible(self):
+        assert frequencies_compatible(70, 100, 700, 1000)
+
+    def test_wildly_different_incompatible(self):
+        assert not frequencies_compatible(5, 100, 900, 1000)
+
+    def test_small_sample_generous(self):
+        """Tiny trial counts should rarely reject."""
+        assert frequencies_compatible(3, 10, 500, 1000)

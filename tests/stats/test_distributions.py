@@ -1,0 +1,106 @@
+"""Tests for MaxLoadDistribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import MaxLoadDistribution
+
+
+@pytest.fixture
+def dist():
+    return MaxLoadDistribution.from_samples([3, 4, 4, 4, 5, 5])
+
+
+class TestConstruction:
+    def test_from_samples_counts(self, dist):
+        assert dist.counts == {3: 1, 4: 3, 5: 2}
+        assert dist.trials == 6
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MaxLoadDistribution(counts={})
+
+    def test_rejects_invalid_entries(self):
+        with pytest.raises(ValueError):
+            MaxLoadDistribution(counts={-1: 2})
+        with pytest.raises(ValueError):
+            MaxLoadDistribution(counts={3: 0})
+
+
+class TestStatistics:
+    def test_mode(self, dist):
+        assert dist.mode == 4
+
+    def test_mode_tie_takes_lowest(self):
+        d = MaxLoadDistribution.from_samples([2, 2, 7, 7])
+        assert d.mode == 2
+
+    def test_mean(self, dist):
+        assert dist.mean == pytest.approx((3 + 12 + 10) / 6)
+
+    def test_min_max_support(self, dist):
+        assert dist.min == 3 and dist.max == 5
+        assert dist.support == [3, 4, 5]
+
+    def test_frequency(self, dist):
+        assert dist.frequency(4) == pytest.approx(0.5)
+        assert dist.frequency(99) == 0.0
+
+    def test_cdf(self, dist):
+        assert dist.cdf(2) == 0.0
+        assert dist.cdf(4) == pytest.approx(4 / 6)
+        assert dist.cdf(5) == 1.0
+
+    def test_quantile(self, dist):
+        assert dist.quantile(0.01) == 3
+        assert dist.quantile(0.5) == 4
+        assert dist.quantile(1.0) == 5
+
+    def test_quantile_domain(self, dist):
+        with pytest.raises(ValueError):
+            dist.quantile(0.0)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_invariants(self, samples):
+        d = MaxLoadDistribution.from_samples(samples)
+        assert d.trials == len(samples)
+        assert d.min <= d.mode <= d.max
+        assert d.min <= d.mean <= d.max
+        assert sum(d.frequency(k) for k in d.support) == pytest.approx(1.0)
+
+
+class TestMergeAndDistance:
+    def test_merge_pools_counts(self, dist):
+        merged = dist.merge(MaxLoadDistribution.from_samples([4, 6]))
+        assert merged.trials == 8
+        assert merged.counts[4] == 4 and merged.counts[6] == 1
+
+    def test_total_variation_self_zero(self, dist):
+        assert dist.total_variation(dist) == 0.0
+
+    def test_total_variation_disjoint_one(self):
+        a = MaxLoadDistribution.from_samples([1])
+        b = MaxLoadDistribution.from_samples([2])
+        assert a.total_variation(b) == pytest.approx(1.0)
+
+    def test_total_variation_symmetric(self, dist):
+        other = MaxLoadDistribution.from_samples([4, 5, 6])
+        assert dist.total_variation(other) == pytest.approx(
+            other.total_variation(dist)
+        )
+
+
+class TestFormatting:
+    def test_paper_style_lines(self, dist):
+        lines = dist.lines()
+        assert lines[0] == "3 ......  16.7%"
+        assert lines[1] == "4 ......  50.0%"
+
+    def test_min_pct_filter(self):
+        d = MaxLoadDistribution.from_samples([3] * 999 + [9])
+        assert len(d.lines(min_pct=1.0)) == 1
+
+    def test_format_joins(self, dist):
+        assert dist.format().count("\n") == 2

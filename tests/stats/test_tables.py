@@ -1,0 +1,60 @@
+"""Tests for paper-style table rendering."""
+
+from repro.stats.distributions import MaxLoadDistribution
+from repro.stats.tables import exponent_label, render_table
+
+
+class TestExponentLabel:
+    def test_powers_of_two(self):
+        assert exponent_label(256) == "2^8"
+        assert exponent_label(2**24) == "2^24"
+
+    def test_non_powers(self):
+        assert exponent_label(100) == "100"
+        assert exponent_label(3) == "3"
+
+    def test_one(self):
+        assert exponent_label(1) == "2^0"
+
+
+class TestRenderTable:
+    def _cells(self):
+        return {
+            (256, 1): MaxLoadDistribution.from_samples([7, 7, 8]),
+            (256, 2): MaxLoadDistribution.from_samples([4, 4, 4]),
+            (1024, 1): MaxLoadDistribution.from_samples([9]),
+            (1024, 2): MaxLoadDistribution.from_samples([4, 5]),
+        }
+
+    def test_contains_all_cells(self):
+        text = render_table(self._cells(), [256, 1024], [1, 2], title="T")
+        assert "T" in text
+        assert "2^8" in text and "2^10" in text
+        assert "100.0%" in text
+
+    def test_missing_cell_marked(self):
+        text = render_table(self._cells(), [256, 1024], [1, 2, 3])
+        assert "(not run)" in text
+
+    def test_row_alignment(self):
+        """Each row block's first line starts with the row label."""
+        text = render_table(self._cells(), [256], [1, 2])
+        lines = [l for l in text.split("\n") if l.startswith("2^8")]
+        assert len(lines) == 1
+
+    def test_custom_labels(self):
+        text = render_table(
+            self._cells(),
+            [256],
+            [1, 2],
+            row_label=str,
+            col_label=lambda d: f"d={d}",
+        )
+        assert "256" in text and "d=1" in text
+
+    def test_min_pct_threshold(self):
+        cells = {
+            (1, 1): MaxLoadDistribution.from_samples([3] * 99 + [9]),
+        }
+        text = render_table(cells, [1], [1], min_pct=2.0)
+        assert "9" not in text.split("---")[-1] or "9 ......" not in text

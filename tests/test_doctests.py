@@ -1,0 +1,32 @@
+"""Run every docstring example in the package as a test.
+
+Doc examples are part of the public contract; this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if module_info.name.endswith("__main__"):
+            continue
+        names.append(module_info.name)
+    return names
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {name}"

@@ -1,0 +1,57 @@
+"""Public API surface checks: imports, __all__ hygiene, version."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.theory",
+    "repro.baselines",
+    "repro.dht",
+    "repro.geo2d",
+    "repro.stats",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_types_exposed(self):
+        from repro import (
+            GeometricSpace,
+            PlacementResult,
+            RingSpace,
+            TieBreak,
+            TorusSpace,
+            place_balls,
+        )
+
+        assert issubclass(RingSpace, GeometricSpace)
+        assert issubclass(TorusSpace, GeometricSpace)
+        assert callable(place_balls)
+        assert PlacementResult is not None and TieBreak is not None
+
+
+@pytest.mark.parametrize("package", SUBPACKAGES)
+class TestSubpackages:
+    def test_importable(self, package):
+        importlib.import_module(package)
+
+    def test_all_resolves(self, package):
+        mod = importlib.import_module(package)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{package}.{name}"
+
+    def test_has_docstring(self, package):
+        mod = importlib.import_module(package)
+        assert mod.__doc__ and len(mod.__doc__) > 40

@@ -1,0 +1,97 @@
+"""Tests for concentration bounds: each must dominate exact tails."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.chernoff import (
+    azuma_tail,
+    chernoff_lemma2,
+    chernoff_multiplicative,
+    exact_binomial_tail,
+)
+
+
+class TestChernoffLemma2:
+    def test_formula(self):
+        assert chernoff_lemma2(90, 0.1) == pytest.approx(math.exp(-3.0))
+
+    @given(st.integers(10, 2000), st.floats(0.01, 0.9))
+    @settings(max_examples=100, deadline=None)
+    def test_dominates_exact_binomial(self, n, p):
+        """Pr(B >= 2np) <= e^{-np/3} must hold (it is a theorem)."""
+        assert exact_binomial_tail(n, p, 2 * n * p) <= chernoff_lemma2(n, p) + 1e-12
+
+    def test_monotone_in_np(self):
+        assert chernoff_lemma2(100, 0.5) < chernoff_lemma2(100, 0.1)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            chernoff_lemma2(10, 1.5)
+
+
+class TestChernoffMultiplicative:
+    def test_delta_one_close_to_lemma2(self):
+        assert chernoff_multiplicative(100, 0.3, 1.0) == pytest.approx(
+            chernoff_lemma2(100, 0.3)
+        )
+
+    @given(
+        st.integers(20, 500),
+        st.floats(0.05, 0.5),
+        st.floats(0.1, 3.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dominates_exact(self, n, p, delta):
+        bound = chernoff_multiplicative(n, p, delta)
+        exact = exact_binomial_tail(n, p, (1 + delta) * n * p)
+        assert exact <= bound + 1e-12
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            chernoff_multiplicative(10, 0.1, 0.0)
+
+
+class TestAzuma:
+    def test_scalar_form(self):
+        # exp(-t^2 / (2 n c^2))
+        assert azuma_tail(10.0, 2.0, 100) == pytest.approx(
+            math.exp(-100.0 / 800.0)
+        )
+
+    def test_sequence_form_matches_scalar(self):
+        assert azuma_tail(5.0, [2.0] * 50) == pytest.approx(
+            azuma_tail(5.0, 2.0, 50)
+        )
+
+    def test_decreasing_in_t(self):
+        assert azuma_tail(20.0, 1.0, 100) < azuma_tail(10.0, 1.0, 100)
+
+    def test_requires_steps_for_scalar(self):
+        with pytest.raises(ValueError, match="n_steps"):
+            azuma_tail(1.0, 2.0)
+
+    def test_rejects_bad_t(self):
+        with pytest.raises(ValueError):
+            azuma_tail(0.0, 2.0, 10)
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError):
+            azuma_tail(1.0, [])
+
+    def test_rejects_nonpositive_lipschitz(self):
+        with pytest.raises(ValueError):
+            azuma_tail(1.0, [1.0, 0.0])
+
+
+class TestExactBinomialTail:
+    def test_certainty(self):
+        assert exact_binomial_tail(10, 0.5, 0) == 1.0
+
+    def test_impossible(self):
+        assert exact_binomial_tail(10, 0.5, 11) == 0.0
+
+    def test_fair_coin_median(self):
+        assert exact_binomial_tail(3, 0.5, 2) == pytest.approx(0.5)

@@ -1,0 +1,78 @@
+"""Tests for the fluid-limit ODE against known closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.theory.fluid import fluid_limit_tails, fluid_predicted_max_load
+
+
+class TestFluidLimitTails:
+    def test_s0_is_one(self):
+        assert fluid_limit_tails(2)[0] == 1.0
+
+    def test_monotone_nonincreasing(self):
+        s = fluid_limit_tails(2)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_d1_is_poisson(self):
+        """d=1 fluid limit = Poisson(lam) occupancy tail (exact check)."""
+        lam = 1.0
+        s = fluid_limit_tails(1, lam)
+        for i in range(1, 8):
+            expected = stats.poisson.sf(i - 1, lam)
+            assert s[i] == pytest.approx(expected, rel=1e-6, abs=1e-12)
+
+    def test_d1_heavier_lam(self):
+        lam = 3.0
+        s = fluid_limit_tails(1, lam)
+        assert s[3] == pytest.approx(stats.poisson.sf(2, lam), rel=1e-6)
+
+    def test_d2_doubly_exponential_decay(self):
+        """log(1/s_i) should roughly double-exponentiate in i for d=2."""
+        s = fluid_limit_tails(2, 1.0)
+        logs = -np.log(s[1:7])
+        ratios = logs[2:] / logs[1:-1]
+        assert np.all(ratios > 1.5)
+
+    def test_mass_conservation(self):
+        """sum_i s_i = expected load per bin = lam."""
+        for d in (1, 2, 3):
+            s = fluid_limit_tails(d, 1.0)
+            assert s[1:].sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_larger_d_thinner_tail(self):
+        s2 = fluid_limit_tails(2)
+        s3 = fluid_limit_tails(3)
+        assert s3[3] < s2[3]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            fluid_limit_tails(0)
+        with pytest.raises(ValueError):
+            fluid_limit_tails(2, lam=-1.0)
+
+
+class TestFluidPrediction:
+    def test_d2_matches_paper_scale(self):
+        """Fluid predicts ~4 for n=2^20, d=2 (paper observes 5 on arcs,
+        4 on torus and uniform-ish)."""
+        assert fluid_predicted_max_load(2**20, 2) in (4, 5)
+
+    def test_monotone_in_n(self):
+        vals = [fluid_predicted_max_load(n, 2) for n in (2**8, 2**16, 2**24)]
+        assert vals == sorted(vals)
+
+    def test_decreasing_in_d(self):
+        n = 2**20
+        vals = [fluid_predicted_max_load(n, d) for d in (1, 2, 3)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_d1_log_scale(self):
+        """d=1 prediction should sit near ln n / ln ln n."""
+        n = 2**20
+        v = fluid_predicted_max_load(n, 1)
+        scale = math.log(n) / math.log(math.log(n))
+        assert 0.8 * scale <= v <= 2.5 * scale

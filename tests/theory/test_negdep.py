@@ -1,0 +1,100 @@
+"""Tests for Lemma 3: negative dependence of arc indicators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.arcs import sample_spacings
+from repro.theory.negdep import (
+    empirical_product_moments,
+    negative_dependence_holds_exact,
+    negative_dependence_margin,
+    spacings_joint_survival,
+)
+
+
+class TestJointSurvival:
+    def test_single_marginal(self):
+        assert spacings_joint_survival(5, [0.1]) == pytest.approx(0.9**4)
+
+    def test_infeasible_thresholds(self):
+        assert spacings_joint_survival(3, [0.6, 0.6]) == 0.0
+
+    def test_two_spacings_exact(self):
+        # P(S1 >= x, S2 >= y) = (1 - x - y)^{n-1}
+        assert spacings_joint_survival(4, [0.2, 0.3]) == pytest.approx(0.5**3)
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            spacings_joint_survival(2, [0.1, 0.1, 0.1])
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            spacings_joint_survival(3, [-0.1])
+
+    def test_monte_carlo_agreement(self):
+        n = 20
+        s = sample_spacings(n, 20000, seed=0)
+        emp = float(((s[:, 0] >= 1 / n) & (s[:, 1] >= 1 / n)).mean())
+        assert emp == pytest.approx(
+            spacings_joint_survival(n, [1 / n, 1 / n]), abs=0.01
+        )
+
+
+class TestNegativeDependenceExact:
+    @given(
+        st.integers(2, 400),
+        st.floats(0.1, 10.0),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_lemma3_inequality_always_holds(self, n, c, k):
+        """E[prod Z] <= prod E[Z] for every (n, c, k): Lemma 3."""
+        if k > n or c > n:
+            return
+        assert negative_dependence_holds_exact(n, c, k)
+
+    def test_margin_zero_for_k1(self):
+        assert negative_dependence_margin(10, 2.0, 1) == pytest.approx(0.0)
+
+    def test_margin_positive_for_k2(self):
+        assert negative_dependence_margin(50, 3.0, 2) > 0
+
+    def test_domain_checks(self):
+        with pytest.raises(ValueError):
+            negative_dependence_margin(5, 1.0, 6)
+        with pytest.raises(ValueError):
+            negative_dependence_margin(5, 6.0, 2)
+
+
+class TestEmpiricalMoments:
+    def test_on_sampled_spacings(self):
+        """Pairwise products under-shoot marginal products (negatively
+        dependent), up to CLT noise."""
+        n, trials, c = 30, 8000, 1.5
+        s = sample_spacings(n, trials, seed=1)
+        indicators = (s >= c / n).astype(np.int64)
+        results = empirical_product_moments(indicators, max_order=2)
+        for subset, joint, marginal in results:
+            noise = 3.0 / np.sqrt(trials)
+            assert joint <= marginal + noise, subset
+
+    def test_explicit_subsets(self):
+        samples = np.array([[1, 1, 0], [0, 1, 1]])
+        results = empirical_product_moments(samples, subsets=[(0, 1)])
+        assert results[0][0] == (0, 1)
+        assert results[0][1] == pytest.approx(0.5)  # E[Z0 Z1]
+        assert results[0][2] == pytest.approx(0.5)  # E[Z0] E[Z1]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            empirical_product_moments(np.array([[2, 0]]))
+
+    def test_rejects_bad_subset(self):
+        with pytest.raises(ValueError, match="out of range"):
+            empirical_product_moments(np.array([[1, 0]]), subsets=[(0, 5)])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            empirical_product_moments(np.array([1, 0]))

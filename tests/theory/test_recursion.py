@@ -1,0 +1,151 @@
+"""Tests for the layered-induction recursion (Eq. 1, Claim 10)."""
+
+import math
+
+import pytest
+
+from repro.theory.recursion import (
+    abku_beta_sequence,
+    beta_sequence,
+    claim10_constant,
+    claim10_envelope,
+    i_star,
+    practical_predicted_max_load,
+    predicted_max_load,
+    theorem1_leading_term,
+)
+
+
+class TestBetaSequence:
+    def test_terminates_with_paper_seed(self):
+        steps = beta_sequence(2**20, 2)
+        assert steps[0].index == 256
+        assert steps[-1].log_p < math.log(6 * math.log(2**20) / 2**20)
+
+    def test_strictly_decreasing_fractions(self):
+        steps = beta_sequence(2**24, 2)
+        fracs = [s.log_fraction for s in steps]
+        assert all(a > b for a, b in zip(fracs, fracs[1:]))
+
+    def test_istar_grows_like_loglog(self):
+        """i* - 256 should grow by ~1 per squaring of log n (d=2)."""
+        gaps = [i_star(n, 2) - 256 for n in (2**8, 2**16, 2**24, 2**32)]
+        assert gaps == sorted(gaps)
+        assert gaps[-1] <= 12  # tiny, double-logarithmic
+
+    def test_istar_decreases_in_d(self):
+        n = 2**24
+        assert i_star(n, 2) >= i_star(n, 3) >= i_star(n, 4)
+
+    def test_rejects_d1(self):
+        with pytest.raises(ValueError, match="d >= 2"):
+            beta_sequence(1000, 1)
+
+    def test_rejects_non_contracting_seed(self):
+        with pytest.raises(ValueError, match="not contracting"):
+            beta_sequence(2**20, 2, seed_index=4, seed_fraction=0.25)
+
+    def test_rejects_unsound_pigeonhole(self):
+        with pytest.raises(ValueError, match="pigeonhole"):
+            beta_sequence(2**20, 2, seed_index=256, seed_fraction=0.5)
+
+    def test_beta_values_positive(self):
+        for step in beta_sequence(2**16, 2):
+            assert step.beta(2**16) > 0
+            assert 0 < step.beta_over_n < 1
+
+    def test_lam_extension_monotone(self):
+        """More balls per bin -> later collapse -> larger i*.
+
+        lam = 2 shifts the contraction region: the pigeonhole seed must
+        sit deeper (beta_4096 = 2n/4096 = n/2048).
+        """
+        a = beta_sequence(2**20, 2, lam=1.0)[-1].index
+        b = beta_sequence(
+            2**20, 2, seed_index=4096, seed_fraction=2 / 4096, lam=2.0
+        )[-1].index
+        assert b >= a
+
+    def test_lam_shifts_contraction_region(self):
+        """The lam = 1 seed is not contracting once lam = 2."""
+        with pytest.raises(ValueError, match="not contracting"):
+            beta_sequence(2**20, 2, seed_index=512, seed_fraction=2 / 512, lam=2.0)
+
+
+class TestAbkuSequence:
+    def test_faster_than_geometric(self):
+        """Uniform bins collapse at least as fast (no log penalty)."""
+        n = 2**24
+        geo = beta_sequence(n, 2)
+        ab = abku_beta_sequence(n, 2, seed_index=256, seed_fraction=1 / 256)
+        assert len(ab) <= len(geo)
+
+    def test_default_seed_contracts(self):
+        steps = abku_beta_sequence(2**16, 2)
+        assert steps[-1].index < 30
+
+    def test_fixed_point_seed_rejected(self):
+        with pytest.raises(ValueError, match="not contracting"):
+            abku_beta_sequence(2**16, 2, seed_index=2, seed_fraction=0.5)
+
+
+class TestPredictors:
+    def test_paper_bound_includes_constant(self):
+        assert predicted_max_load(2**16, 2) >= 258
+
+    def test_practical_predictor_reasonable(self):
+        """Should be within a small factor of the observed ~4-5."""
+        v = practical_predicted_max_load(2**16, 2)
+        assert 4 <= v <= 12
+
+    def test_practical_monotone_in_n(self):
+        vals = [practical_predicted_max_load(n, 2) for n in (2**8, 2**16, 2**32)]
+        assert vals == sorted(vals)
+
+    def test_practical_decreasing_in_d(self):
+        n = 2**20
+        vals = [practical_predicted_max_load(n, d) for d in (2, 3, 4)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_practical_lam_growth_linear_ish(self):
+        """O(m/n) + O(log log n): doubling lam shouldn't explode."""
+        a = practical_predicted_max_load(2**16, 2, lam=1.0)
+        b = practical_predicted_max_load(2**16, 2, lam=4.0)
+        assert a < b < 40 * a
+
+    def test_practical_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            practical_predicted_max_load(2**16, 1)
+        with pytest.raises(ValueError):
+            practical_predicted_max_load(2**16, 2, lam=0)
+
+
+class TestLeadingTermAndClaim10:
+    def test_leading_term_values(self):
+        assert theorem1_leading_term(2**16, 2) == pytest.approx(
+            math.log(math.log(2**16)) / math.log(2)
+        )
+
+    def test_leading_term_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            theorem1_leading_term(2, 2)
+
+    def test_claim10_constant_below_one(self):
+        for d in (2, 3, 4, 5, 8):
+            assert 0 < claim10_constant(d) < 1
+
+    def test_envelope_collapse(self):
+        vals = [claim10_envelope(2**20, 2, k) for k in range(1, 8)]
+        assert vals == sorted(vals, reverse=True)
+        assert vals[-1] < 1e-6
+
+    def test_envelope_underflow_is_zero(self):
+        assert claim10_envelope(2**20, 2, 12) == 0.0
+
+    def test_istar_tracks_leading_term(self):
+        """(i* - seed) stays within O(1) of log log n / log d."""
+        for n in (2**16, 2**24, 2**32):
+            for d in (2, 3):
+                gap = i_star(n, d) - 256
+                lead = theorem1_leading_term(n, d)
+                assert abs(gap - lead) <= 8

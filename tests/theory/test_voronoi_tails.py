@@ -1,0 +1,142 @@
+"""Tests for Lemmas 8-9: the six-sector lemma and Voronoi area tails."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.torus import TorusSpace
+from repro.theory.voronoi_tails import (
+    empty_sector_count,
+    expected_large_regions_bound,
+    lemma8_holds_on_instance,
+    lemma8_sector_test,
+    lemma9_tail_azuma,
+    lemma9_tail_paper,
+    lemma9_threshold,
+    sector_index,
+)
+
+
+class TestSectorIndex:
+    def test_axis_directions(self):
+        # along +x: sector 0; along +y (90 deg): sector 1; -x: sector 3
+        assert sector_index(np.array([1.0]), np.array([0.0]))[0] == 0
+        assert sector_index(np.array([0.0]), np.array([1.0]))[0] == 1
+        assert sector_index(np.array([-1.0]), np.array([0.0]))[0] == 3
+        assert sector_index(np.array([0.0]), np.array([-1.0]))[0] == 4
+
+    def test_all_six_reached(self):
+        angles = np.deg2rad(np.arange(30, 360, 60))
+        idx = sector_index(np.cos(angles), np.sin(angles))
+        assert sorted(idx.tolist()) == [0, 1, 2, 3, 4, 5]
+
+    def test_boundaries(self):
+        # exactly 60 degrees belongs to sector 1 (interval [60, 120))
+        a = np.deg2rad(np.array([60.0]))
+        assert sector_index(np.cos(a), np.sin(a))[0] == 1
+
+
+class TestEmptySectorCount:
+    def test_isolated_point_all_empty(self):
+        pts = np.array([[0.5, 0.5], [0.1, 0.1]])
+        # tiny disc around point 0 contains nothing
+        assert empty_sector_count(pts, 0, 0.001) == 6
+
+    def test_occupied_sector_detected(self):
+        # neighbor due +x, well within the disc
+        pts = np.array([[0.5, 0.5], [0.52, 0.5]])
+        n = 2
+        c = n * math.pi * 0.1**2  # radius 0.1
+        assert empty_sector_count(pts, 0, c) == 5
+
+    def test_rejects_large_disc(self):
+        pts = np.array([[0.5, 0.5], [0.1, 0.1]])
+        with pytest.raises(ValueError, match="radius"):
+            empty_sector_count(pts, 0, 2.0)  # radius ~ 0.56 on torus
+
+    def test_rejects_bad_index(self):
+        pts = np.array([[0.5, 0.5]])
+        with pytest.raises(ValueError, match="out of range"):
+            empty_sector_count(pts, 3, 0.1)
+
+    def test_wraparound_neighbor_counts(self):
+        pts = np.array([[0.01, 0.5], [0.99, 0.5]])
+        n = 2
+        c = n * math.pi * 0.05**2  # radius 0.05 > toroidal distance 0.02
+        # neighbor is at angle 180 (sector 3) across the seam
+        assert empty_sector_count(pts, 0, c) == 5
+
+
+class TestLemma8:
+    def test_holds_on_random_instances(self):
+        """Lemma 8 is a theorem: zero failures allowed."""
+        for seed in range(10):
+            space = TorusSpace.random(300, seed=seed)
+            areas = space.region_measures()
+            assert lemma8_holds_on_instance(space.points, areas, c=2.0)
+
+    def test_sector_test_shape(self):
+        space = TorusSpace.random(100, seed=1)
+        areas = space.region_measures()
+        verdicts = lemma8_sector_test(space.points, areas, c=1.0)
+        assert verdicts.size == int((areas >= 1.0 / 100).sum())
+
+    def test_rejects_mismatched_areas(self):
+        space = TorusSpace.random(10, seed=1)
+        with pytest.raises(ValueError, match="length"):
+            lemma8_sector_test(space.points, np.ones(5), c=1.0)
+
+
+class TestLemma9Bounds:
+    def test_expected_bound_formula(self):
+        assert expected_large_regions_bound(6.0, 100) == pytest.approx(
+            600 * math.exp(-1.0)
+        )
+
+    def test_threshold_is_double_expectation(self):
+        assert lemma9_threshold(9.0, 50) == pytest.approx(
+            2 * expected_large_regions_bound(9.0, 50)
+        )
+
+    def test_domain_enforced(self):
+        n = 2**20  # ln n ~ 13.9
+        with pytest.raises(ValueError, match="12 <= c"):
+            lemma9_tail_paper(5.0, n)
+        with pytest.raises(ValueError, match="12 <= c"):
+            lemma9_tail_azuma(20.0, n)
+        with pytest.raises(ValueError):
+            lemma9_tail_paper(12.0, 100)  # ln 100 < 12: empty window
+
+    def test_paper_form_stronger_than_azuma(self):
+        """The printed expression divides by L, Azuma by L^2."""
+        n = 2**20
+        for c in (12.0, 13.0):
+            assert lemma9_tail_paper(c, n) <= lemma9_tail_azuma(c, n)
+
+    def test_paper_tail_small_in_window(self):
+        n = 2**24  # ln n ~ 16.6
+        assert lemma9_tail_paper(12.0, n) < 1e-8
+
+    def test_azuma_tail_small_at_larger_n(self):
+        """The rigorous Azuma form (L^2 in the denominator) needs a
+        bigger n before the exponent beats the log^6 factor."""
+        n = 2**32
+        assert lemma9_tail_azuma(12.0, n) < 1e-3
+        # and it is vacuous-but-valid at 2^24
+        assert 0 < lemma9_tail_azuma(12.0, 2**24) <= 1.0
+
+    def test_expectation_dominates_monte_carlo(self):
+        """E[Z] <= 6 n e^{-c/6} with Z from actual instances."""
+        n, c, trials = 400, 2.0, 30
+        zs = []
+        for seed in range(trials):
+            space = TorusSpace.random(n, seed=seed)
+            z = sum(
+                empty_sector_count(space.points, i, c) for i in range(n)
+            )
+            zs.append(z)
+        mean_z = float(np.mean(zs))
+        bound = expected_large_regions_bound(c, n)
+        # E[Z] is within the bound; allow CLT noise upward
+        assert mean_z <= bound * 1.05

@@ -1,0 +1,137 @@
+"""Tests for the weighted fluid limit (the conclusion's open problem)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.trials import CellSpec, run_cell_profile
+from repro.theory.fluid import fluid_limit_tails
+from repro.theory.weighted_fluid import (
+    VORONOI_GAMMA_SHAPE,
+    WeightModel,
+    weight_model_for,
+    weighted_fluid_predicted_max_load,
+    weighted_fluid_tails,
+)
+
+
+class TestWeightModel:
+    def test_point_mass(self):
+        m = WeightModel.point_mass()
+        assert m.weights.tolist() == [1.0]
+
+    def test_gamma_mean_one(self):
+        for shape in (0.5, 1.0, 3.575):
+            m = WeightModel.gamma(shape, n_buckets=32)
+            assert float((m.probs * m.weights).sum()) == pytest.approx(1.0)
+
+    def test_gamma_buckets_increasing(self):
+        m = WeightModel.gamma(1.0, n_buckets=16)
+        assert np.all(np.diff(m.weights) > 0)
+
+    def test_gamma_variance_matches_law(self):
+        """Bucketed second moment approaches Var + 1 = 1/shape + 1."""
+        shape = 2.0
+        m = WeightModel.gamma(shape, n_buckets=256)
+        second = float((m.probs * m.weights**2).sum())
+        # bucketing underestimates the variance slightly
+        assert second == pytest.approx(1.0 + 1.0 / shape, rel=0.05)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            WeightModel(np.array([]))
+        with pytest.raises(ValueError):
+            WeightModel(np.array([1.0, -0.5]))
+        with pytest.raises(ValueError):
+            WeightModel.gamma(0.0)
+
+    def test_weight_model_for(self):
+        assert weight_model_for("uniform").k == 1
+        assert weight_model_for("ring").k == 48
+        with pytest.raises(ValueError, match="unknown space"):
+            weight_model_for("sphere")
+
+    def test_voronoi_gamma_fits_exact_areas(self):
+        """Kiang's Gamma(3.575) against our exact toroidal areas."""
+        from repro.geo2d.voronoi import toroidal_voronoi_areas
+
+        n = 1500
+        rng = np.random.default_rng(0)
+        areas = n * toroidal_voronoi_areas(rng.random((n, 2)))
+        # moment check: Var ~ 1/3.575 ~ 0.28
+        assert float(areas.var()) == pytest.approx(
+            1.0 / VORONOI_GAMMA_SHAPE, rel=0.2
+        )
+
+
+class TestReductionToClassical:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_point_mass_matches_unweighted_ode(self, d):
+        out = weighted_fluid_tails(d, weights=WeightModel.point_mass())
+        classical = fluid_limit_tails(d)
+        depth = min(out["s"].size, classical.size, 10)
+        assert np.allclose(out["s"][:depth], classical[:depth], atol=1e-6)
+
+    def test_s_equals_u_for_point_mass(self):
+        out = weighted_fluid_tails(2, weights=WeightModel.point_mass())
+        assert np.allclose(out["s"], out["u"], atol=1e-9)
+
+
+class TestStructure:
+    def test_tails_monotone(self):
+        out = weighted_fluid_tails(2, weights=weight_model_for("ring"))
+        assert np.all(np.diff(out["s"]) <= 1e-12)
+        assert np.all(np.diff(out["u"]) <= 1e-12)
+
+    def test_measure_tail_heavier_than_number_tail(self):
+        """Big bins fill first: u_i >= s_i everywhere."""
+        out = weighted_fluid_tails(2, weights=weight_model_for("ring"))
+        assert np.all(out["u"] >= out["s"] - 1e-12)
+
+    def test_mass_conservation(self):
+        """sum_i s_i = lam (each ball at exactly one height)."""
+        for lam in (1.0, 2.0):
+            out = weighted_fluid_tails(2, lam, weights=weight_model_for("ring"))
+            assert float(out["s"][1:].sum()) == pytest.approx(lam, rel=1e-4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            weighted_fluid_tails(0)
+        with pytest.raises(ValueError):
+            weighted_fluid_tails(2, lam=0.0)
+
+
+class TestMatchesSimulation:
+    """The headline: the weighted ODE predicts the geometric tails."""
+
+    N = 4096
+    TRIALS = 8
+
+    def _profile(self, kind):
+        return (
+            run_cell_profile(CellSpec(kind, self.N, 2), self.TRIALS, seed=31)
+            / self.N
+        )
+
+    def test_ring_tails(self):
+        sim = self._profile("ring")
+        fluid = weighted_fluid_tails(2, weights=weight_model_for("ring"))["s"]
+        for i in (1, 2, 3):
+            assert sim[i] == pytest.approx(fluid[i], abs=0.02), i
+
+    def test_torus_tails(self):
+        sim = self._profile("torus")
+        fluid = weighted_fluid_tails(2, weights=weight_model_for("torus"))["s"]
+        for i in (1, 2, 3):
+            assert sim[i] == pytest.approx(fluid[i], abs=0.02), i
+
+    def test_predicted_max_loads_match_paper(self):
+        """Paper Table 1/2 at 2^20, d=2: ring 5, torus 4; uniform ODE
+        alone says 4 -- the weighted model recovers the ring's +1."""
+        ring = weighted_fluid_predicted_max_load(
+            2**20, 2, weights=weight_model_for("ring")
+        )
+        torus = weighted_fluid_predicted_max_load(
+            2**20, 2, weights=weight_model_for("torus")
+        )
+        unif = weighted_fluid_predicted_max_load(2**20, 2)
+        assert (ring, torus, unif) == (5, 4, 4)

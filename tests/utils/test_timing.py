@@ -1,0 +1,51 @@
+"""Tests for repro.utils.timing."""
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_lap_records(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        assert "a" in sw.laps and sw.laps["a"] >= 0.0
+
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        first = sw.laps["a"]
+        with sw.lap("a"):
+            pass
+        assert sw.laps["a"] >= first
+
+    def test_total_sums(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("b"):
+            pass
+        assert abs(sw.total - (sw.laps["a"] + sw.laps["b"])) < 1e-12
+
+    def test_format_empty(self):
+        assert Stopwatch().format() == "(no laps)"
+
+    def test_format_contains_names(self):
+        sw = Stopwatch()
+        with sw.lap("setup"):
+            pass
+        text = sw.format()
+        assert "setup" in text and "total" in text
+
+
+class TestTimed:
+    def test_sink_receives_message(self):
+        messages = []
+        with timed("label", sink=messages.append):
+            pass
+        assert len(messages) == 1 and "label" in messages[0]
+
+    def test_prints_by_default(self, capsys):
+        with timed("xyz"):
+            pass
+        assert "xyz" in capsys.readouterr().out

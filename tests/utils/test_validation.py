@@ -1,0 +1,97 @@
+"""Tests for repro.utils.validation: uniform argument checking."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_float_array,
+    check_dimension,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_unit_interval,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int32(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be >= 1"):
+            check_positive_int(0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="x must be an int"):
+            check_positive_int(2.0, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="n_trials"):
+            check_positive_int(-1, "n_trials")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "m") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "m")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0, 0.5, 1, np.float64(0.25)])
+    def test_accepts_valid(self, v):
+        assert check_probability(v, "p") == float(v)
+
+    @pytest.mark.parametrize("v", [-0.1, 1.01, 2])
+    def test_rejects_out_of_range(self, v):
+        with pytest.raises(ValueError):
+            check_probability(v, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_probability("p", "p")
+
+
+class TestCheckUnitInterval:
+    def test_rejects_one(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            check_unit_interval(1.0, "x")
+
+    def test_accepts_zero(self):
+        assert check_unit_interval(0.0, "x") == 0.0
+
+
+class TestCheckDimension:
+    def test_accepts_small(self):
+        assert check_dimension(3) == 3
+
+    def test_rejects_huge(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            check_dimension(9)
+
+
+class TestAsFloatArray:
+    def test_coerces_list(self):
+        arr = as_float_array([1, 2], "a")
+        assert arr.dtype == np.float64
+
+    def test_rank_check(self):
+        with pytest.raises(ValueError, match="ndim=2"):
+            as_float_array([1.0, 2.0], "a", ndim=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_float_array([np.nan], "a")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_float_array([np.inf, 0.0], "a")
