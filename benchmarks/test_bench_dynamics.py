@@ -1,0 +1,67 @@
+"""Dynamic-engine throughput benchmarks (smoke scale).
+
+Times the dynamic engines over the steady-state and churn-storm
+workloads so the perf trajectory tracks the new subsystem from day
+one: the batched engine's mixed-prefix vectorization versus the scalar
+reference, trace generation, and the churn re-placement path.
+"""
+
+import pytest
+
+from repro.core.ring import RingSpace
+from repro.core.strategies import TieBreak
+from repro.dynamics.engine import run_batched_dynamic, run_sequential_dynamic
+from repro.dynamics.events import churn_storm_trace, steady_state_trace
+from repro.utils.rng import resolve_rng
+
+N = 1 << 14
+
+
+@pytest.fixture(scope="module")
+def dyn_ring():
+    return RingSpace.random(N, seed=0)
+
+
+@pytest.fixture(scope="module")
+def steady_trace():
+    return steady_state_trace(N, pairs=N, epochs=8, seed=1)
+
+
+@pytest.fixture(scope="module")
+def storm_trace():
+    return churn_storm_trace(
+        N, N, waves=2, leave_fraction=0.05, pairs_per_wave=N // 8, seed=2
+    )
+
+
+def test_batched_dynamic_steady(benchmark, dyn_ring, steady_trace):
+    res = benchmark(
+        lambda: run_batched_dynamic(
+            dyn_ring, steady_trace, 2, TieBreak.RANDOM, resolve_rng(3)
+        )
+    )
+    assert res.occupancy == N
+
+
+def test_sequential_dynamic_steady(benchmark, dyn_ring):
+    trace = steady_state_trace(N // 8, pairs=N // 8, epochs=4, seed=4)
+    res = benchmark(
+        lambda: run_sequential_dynamic(
+            dyn_ring, trace, 2, TieBreak.RANDOM, resolve_rng(3)
+        )
+    )
+    assert res.occupancy == N // 8
+
+
+def test_batched_dynamic_churn_storm(benchmark, dyn_ring, storm_trace):
+    res = benchmark(
+        lambda: run_batched_dynamic(
+            dyn_ring, storm_trace, 2, TieBreak.RANDOM, resolve_rng(5)
+        )
+    )
+    assert res.occupancy == N
+
+
+def test_steady_trace_generation(benchmark):
+    trace = benchmark(lambda: steady_state_trace(N, pairs=N, epochs=8, seed=6))
+    assert trace.num_events == 3 * N

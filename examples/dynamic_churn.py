@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The load guarantee in time: inserts, deletes, and churn storms.
+
+Theorem 1 bounds the max load of a one-shot placement.  A DHT never
+does a one-shot placement: keys arrive and depart, servers fail and
+recover.  This example runs two dynamic workloads at d = 1 versus
+d = 2 and prints the per-epoch trajectory, showing that the two-choice
+advantage is a property of the whole path, not just the endpoint:
+
+* a fixed-occupancy steady state (every epoch turns over part of the
+  key population), and
+* a churn storm (waves of servers leave, displacing their keys onto
+  survivors, then rejoin empty).
+
+Usage::
+
+    python examples/dynamic_churn.py [n_servers]
+"""
+
+import sys
+
+from repro.core import RingSpace
+from repro.dynamics import churn_storm_trace, simulate_dynamics, steady_state_trace
+
+
+def show(title, trace, n, seed):
+    print(f"\n{title}")
+    print(f"{'epoch':>6} {'events':>8} {'total':>7} {'live':>6} "
+          f"{'max d=1':>8} {'max d=2':>8}")
+    print("-" * 48)
+    one = simulate_dynamics(RingSpace.random(n, seed=seed), trace, d=1, seed=seed + 1)
+    two = simulate_dynamics(RingSpace.random(n, seed=seed), trace, d=2, seed=seed + 1)
+    for i in range(one.epochs):
+        print(f"{i:>6} {int(one.epoch_ends[i]):>8} "
+              f"{int(one.total_load_over_time[i]):>7} "
+              f"{int(one.live_bins_over_time[i]):>6} "
+              f"{int(one.max_load_over_time[i]):>8} "
+              f"{int(two.max_load_over_time[i]):>8}")
+    print(f"{'peak':>6} {'':>8} {'':>7} {'':>6} "
+          f"{one.peak_max_load:>8} {two.peak_max_load:>8}")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+
+    steady = steady_state_trace(n, pairs=4 * n, policy="random", epochs=8, seed=7)
+    show(f"steady state: occupancy pinned at m = n = {n}, "
+         "4n delete/insert pairs", steady, n, seed=11)
+
+    storm = churn_storm_trace(n, n, waves=3, leave_fraction=0.2,
+                              pairs_per_wave=n // 4, seed=8)
+    show(f"churn storm: 3 waves, 20% of {n} servers leave and rejoin",
+         storm, n, seed=13)
+
+    print(
+        "\nReading: under steady turnover the d=2 trajectory stays flat "
+        "where d=1 drifts to its Theta(log n) level, and even when churn "
+        "waves dump displaced keys onto survivors the two-choice re-"
+        "placement keeps the peak within a couple of balls of the static "
+        "double-log bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

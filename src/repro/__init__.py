@@ -29,6 +29,7 @@ from repro.core import (
     TorusSpace,
     place_balls,
 )
+from repro.dynamics import DynamicResult, EventTrace, simulate_dynamics
 
 __all__ = [
     "__version__",
@@ -38,4 +39,7 @@ __all__ = [
     "TieBreak",
     "PlacementResult",
     "place_balls",
+    "DynamicResult",
+    "EventTrace",
+    "simulate_dynamics",
 ]

@@ -19,8 +19,12 @@ from repro.core.placement import PlacementResult, place_balls
 from repro.core.rounds import place_balls_in_rounds
 from repro.core.loads import (
     height_counts_from_loads,
+    imbalance_series,
     load_histogram,
+    max_load_series,
     nu_profile,
+    nu_profile_series,
+    total_load_series,
 )
 
 __all__ = [
@@ -34,4 +38,8 @@ __all__ = [
     "load_histogram",
     "nu_profile",
     "height_counts_from_loads",
+    "max_load_series",
+    "total_load_series",
+    "imbalance_series",
+    "nu_profile_series",
 ]

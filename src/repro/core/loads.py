@@ -20,6 +20,10 @@ __all__ = [
     "height_counts_from_loads",
     "max_load",
     "load_imbalance",
+    "max_load_series",
+    "total_load_series",
+    "imbalance_series",
+    "nu_profile_series",
 ]
 
 
@@ -83,6 +87,58 @@ def height_counts_from_loads(loads) -> np.ndarray:
 def max_load(loads) -> int:
     """Maximum bin load (the statistic in the paper's Tables 1-3)."""
     return int(_as_loads(loads).max())
+
+
+# ----------------------------------------------------------------------
+# time-series statistics over load trajectories (repro.dynamics)
+# ----------------------------------------------------------------------
+def max_load_series(snapshots) -> np.ndarray:
+    """Maximum load of each snapshot in a load trajectory.
+
+    ``snapshots`` is a sequence of load vectors (e.g. the per-epoch
+    snapshots of a :class:`~repro.dynamics.result.DynamicResult`); the
+    dynamic load guarantee is a statement about this series, not just
+    its final entry.
+
+    Examples
+    --------
+    >>> max_load_series([[0, 1], [2, 1], [1, 1]]).tolist()
+    [1, 2, 1]
+    """
+    return np.array([max_load(s) for s in snapshots], dtype=np.int64)
+
+
+def total_load_series(snapshots) -> np.ndarray:
+    """Total ball count of each snapshot (inserts minus deletes so far).
+
+    Examples
+    --------
+    >>> total_load_series([[0, 1], [2, 1]]).tolist()
+    [1, 3]
+    """
+    return np.array([int(_as_loads(s).sum()) for s in snapshots], dtype=np.int64)
+
+
+def imbalance_series(snapshots) -> np.ndarray:
+    """Max-to-mean ratio of each snapshot in a load trajectory.
+
+    Examples
+    --------
+    >>> imbalance_series([[1, 1], [3, 1]]).tolist()
+    [1.0, 1.5]
+    """
+    return np.array([load_imbalance(s) for s in snapshots], dtype=np.float64)
+
+
+def nu_profile_series(snapshots) -> list[np.ndarray]:
+    """ν-profile of each snapshot: the layered-induction object in time.
+
+    Examples
+    --------
+    >>> [p.tolist() for p in nu_profile_series([[0, 1], [2, 1]])]
+    [[2, 1], [2, 2, 1]]
+    """
+    return [nu_profile(s) for s in snapshots]
 
 
 def load_imbalance(loads) -> float:

@@ -93,6 +93,29 @@ class PlacementResult:
         """Max-to-mean load ratio."""
         return load_imbalance(self.loads)
 
+    # ------------------------------------------------------------------
+    # bridge from the dynamic subsystem
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dynamic(cls, dynamic) -> "PlacementResult":
+        """Final state of a :class:`~repro.dynamics.result.DynamicResult`
+        as a static placement over the live bins.
+
+        Lets every static analysis (ν-profiles, table statistics,
+        theory comparisons) run unchanged on the endpoint of a dynamic
+        trajectory.  Inactive slots are dropped, so ``n`` here is the
+        number of bins live at the end of the trace.
+        """
+        loads = np.asarray(dynamic.loads)[np.asarray(dynamic.active)]
+        return cls(
+            loads=loads,
+            m=int(loads.sum()),
+            d=dynamic.d,
+            strategy=dynamic.strategy,
+            partitioned=dynamic.partitioned,
+            engine=dynamic.engine,
+        )
+
 
 def place_balls(
     space: GeometricSpace,

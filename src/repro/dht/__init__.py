@@ -23,6 +23,19 @@ This package is a faithful, self-contained implementation:
 * :mod:`repro.dht.can` — a CAN-style zone DHT on the k-torus (the
   paper's other DHT citation), whose dyadic zone volumes provide a
   third, more skewed bin geometry for the placement engine.
+
+Static theorem, dynamic system
+------------------------------
+Theorem 1 bounds the maximum load of a *static* placement: ``m`` keys
+inserted once, no departures, no membership change.  A running DHT is
+the dynamic closure of that model — keys are deleted as well as
+inserted, and nodes join and leave with their keys re-placed — which
+the proof does not cover.  :mod:`repro.dynamics` makes that regime
+executable (replayable insert/delete/churn traces with per-epoch load
+trajectories), and :meth:`repro.dht.resilience.ResilientChord.
+replay_trace` closes the loop by replaying the same trace's node churn
+against the routing layer, so balance and availability are measured on
+one workload.
 """
 
 from repro.dht.hashing import hash_to_unit, key_id, multi_hash, RING_BITS

@@ -13,7 +13,11 @@ reliability story so that question is executable:
   (routing must detour around them),
 * **churn driver** — interleave joins/leaves/failures with item
   placements and measure how the two-choice balance and the redirect
-  pointers degrade.
+  pointers degrade,
+* **trace replay** — :meth:`ResilientChord.replay_trace` replays the
+  bin-churn events of a :mod:`repro.dynamics` trace as node failures
+  and recoveries, so the *same* workload drives both the placement
+  trajectory (dynamic engines) and the routing availability (here).
 
 Routing here is deliberately simple (successor walking with finger
 shortcuts over *live* nodes); the point is measuring reachability and
@@ -206,15 +210,8 @@ class ResilientChord:
     # ------------------------------------------------------------------
     # churn measurement
     # ------------------------------------------------------------------
-    def churn_episode(
-        self,
-        fail_count: int,
-        lookups: int = 200,
-        seed=None,
-    ) -> ChurnReport:
-        """Fail ``fail_count`` nodes, then measure lookup availability."""
-        rng = resolve_rng(seed)
-        self.fail_random(fail_count, seed=rng)
+    def _measure_lookups(self, lookups: int, rng: np.random.Generator) -> ChurnReport:
+        """Availability and hop count over random lookups, as-is."""
         live = np.nonzero(self._alive)[0]
         reachable = 0
         total_hops = 0
@@ -233,3 +230,66 @@ class ResilientChord:
             mean_hops=total_hops / reachable if reachable else float("nan"),
             failed_nodes=int((~self._alive).sum()),
         )
+
+    def churn_episode(
+        self,
+        fail_count: int,
+        lookups: int = 200,
+        seed=None,
+    ) -> ChurnReport:
+        """Fail ``fail_count`` nodes, then measure lookup availability."""
+        rng = resolve_rng(seed)
+        self.fail_random(fail_count, seed=rng)
+        return self._measure_lookups(lookups, rng)
+
+    def replay_trace(
+        self,
+        trace,
+        *,
+        lookups_per_epoch: int = 100,
+        seed=None,
+    ) -> list[ChurnReport]:
+        """Replay a dynamics trace's bin churn as node failures/recoveries.
+
+        Bridges the placement-level dynamics subsystem to the routing
+        layer: the same :class:`~repro.dynamics.events.EventTrace` whose
+        load trajectory the dynamic engines measure is replayed here as
+        fail-stop (``BIN_LEAVE``) and recovery (``BIN_JOIN``) events on
+        the Chord substrate, with lookup availability measured at every
+        trace epoch.  Item-level (insert/delete) events do not touch
+        routing and are skipped.
+
+        The trace's slot universe must be this ring's node set
+        (``trace.n_slots == ring.n``) when the trace contains churn;
+        nodes are assumed all-alive at the start so the trace's
+        "never drop the last bin" invariant maps onto the ring.
+
+        Returns one :class:`ChurnReport` per trace epoch.
+        """
+        from repro.dynamics.events import EventKind
+
+        rng = resolve_rng(seed)
+        if trace.has_churn and trace.n_slots != self.ring.n:
+            raise ValueError(
+                f"trace expects {trace.n_slots} bin slots but the ring has "
+                f"{self.ring.n} nodes"
+            )
+        if not self._alive.all():
+            raise ValueError("replay_trace requires an all-alive starting state")
+        kinds = trace.kinds
+        args = trace.args
+        # only churn events touch routing: walk churn positions merged
+        # with epoch boundaries instead of scanning every event
+        churn_positions = np.nonzero(kinds >= EventKind.BIN_LEAVE)[0]
+        reports: list[ChurnReport] = []
+        cp = 0
+        for epoch_end in trace.epoch_ends.tolist():
+            while cp < churn_positions.size and churn_positions[cp] < epoch_end:
+                i = int(churn_positions[cp])
+                if kinds[i] == EventKind.BIN_LEAVE:
+                    self.fail(int(args[i]))
+                else:
+                    self.recover(int(args[i]))
+                cp += 1
+            reports.append(self._measure_lookups(lookups_per_epoch, rng))
+        return reports

@@ -1,0 +1,516 @@
+"""Dynamic placement engines: sequential reference and vectorized batched.
+
+This module extends the static engine pair of :mod:`repro.core.engine`
+to the dynamic process replayed from an
+:class:`~repro.dynamics.events.EventTrace`:
+
+``run_sequential_dynamic``
+    One event at a time.  Trivially correct; the reference.
+
+``run_batched_dynamic``
+    Generalizes the conflict-free-prefix trick to *mixed* blocks of
+    insert and delete events.  Within a batch, an event prefix can be
+    decided from the batch-start load vector when no **insert** reads a
+    bin touched by any earlier event in the prefix:
+
+    * an insert touches its ``d`` candidate bins,
+    * a delete touches the single bin holding its target ball,
+    * deletes never *read* loads, so they never conflict themselves —
+      they only dirty their bin for later inserts.
+
+    Inserts in such a prefix are decided in one vectorized shot (their
+    candidate sets are pairwise disjoint by construction), deletes are
+    applied with one scatter-subtract, and the first conflicting event
+    is stepped scalar — exactly the static engine's scheme with deletes
+    threaded through.
+
+Bin churn events (rare by nature) and epoch snapshots act as batch
+barriers and run through code shared verbatim between the engines, so
+the two engines produce **bit-identical load trajectories** — the same
+per-epoch snapshots, not just the same endpoint.  The test suite
+enforces this across spaces, strategies, delete policies and churn.
+
+RNG discipline mirrors the static engines: all insert randomness is
+pre-drawn through :func:`repro.core.engine.choice_blocks` (so an
+insert-only trace reproduces ``run_sequential`` bit-for-bit on the same
+seed), while churn re-placement draws from a generator spawned off the
+main seed, consumed identically by both engines because churn handling
+is shared scalar code.
+
+When bins leave, ownership is remapped by **cyclic successor**: a
+candidate drawn in a departed bin's region belongs to the next active
+bin in index order.  On the ring — whose bins are stored in position
+order — this is exactly consistent hashing's hand-off to the clockwise
+successor; on other spaces it is a documented convention.  Region
+measures used by the ``smaller``/``larger`` strategies are merged the
+same way, so tie-breaking stays meaningful under churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import DEFAULT_RNG_BLOCK, auto_batch_size, choice_blocks
+from repro.core.engine import auto_engine as _static_auto_engine
+from repro.core.loads import nu_profile
+from repro.core.spaces import GeometricSpace
+from repro.core.strategies import (
+    TieBreak,
+    decide_row_scalar,
+    decide_rows,
+    strategy_needs_measures,
+)
+from repro.dynamics.events import EventKind, EventTrace
+from repro.dynamics.result import DynamicResult
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "run_sequential_dynamic",
+    "run_batched_dynamic",
+    "simulate_dynamics",
+    "mixed_conflict_prefix",
+]
+
+
+def _predraw_inserts(
+    space: GeometricSpace,
+    rng: np.random.Generator,
+    count: int,
+    d: int,
+    partitioned: bool,
+    rng_block: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize candidate bins and tie-break uniforms for all inserts.
+
+    Uses :func:`choice_blocks`, so the RNG stream layout is identical to
+    the static engines' and independent of which dynamic engine runs.
+    """
+    cands = np.empty((count, d), dtype=np.int64)
+    us = np.empty(count, dtype=np.float64)
+    pos = 0
+    for bins, tiebreaks in choice_blocks(
+        space, rng, count, d, partitioned=partitioned, rng_block=rng_block
+    ):
+        b = bins.shape[0]
+        cands[pos : pos + b] = bins
+        us[pos : pos + b] = tiebreaks
+        pos += b
+    return cands, us
+
+
+def mixed_conflict_prefix(touched: np.ndarray, is_insert: np.ndarray) -> int:
+    """Longest event prefix decidable from the prefix-start load vector.
+
+    ``touched`` is ``(B, d)``: an insert row holds its candidate bins, a
+    delete row its target's bin broadcast ``d`` times (``-1`` when the
+    target is inserted within the same batch — its true bin is then the
+    chosen bin of that earlier insert, already accounted for by the
+    insert's candidates).  An event conflicts when it is an insert and
+    any of its bins was touched by an earlier row; deletes never
+    conflict.  Returns at least 1 for non-empty input.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> t = np.array([[0, 1], [2, 2], [1, 3]])        # rows: ins, del, ins
+    >>> mixed_conflict_prefix(t, np.array([True, False, True]))
+    2
+    >>> mixed_conflict_prefix(t[:2], np.array([True, False]))
+    2
+    """
+    if touched.ndim != 2:
+        raise ValueError(f"touched must be 2-D, got shape {touched.shape}")
+    b, d = touched.shape
+    if b == 0:
+        return 0
+    flat = touched.ravel()
+    _, first_flat, inverse = np.unique(flat, return_index=True, return_inverse=True)
+    first_row = first_flat[inverse] // d
+    own_row = np.repeat(np.arange(b, dtype=np.int64), d)
+    conflicts = (first_row < own_row) & np.repeat(is_insert, d)
+    if not conflicts.any():
+        return b
+    return int(own_row[conflicts].min())
+
+
+class _DynamicState:
+    """Mutable simulation state shared by both engines.
+
+    Everything behaviour-bearing that is not the batching itself lives
+    here — scalar event application, churn handling, topology remaps,
+    epoch snapshots — so the engines can only differ in *when* they
+    decide events, never in *how*.
+    """
+
+    def __init__(
+        self,
+        space: GeometricSpace,
+        trace: EventTrace,
+        d: int,
+        strategy: TieBreak,
+        rng,
+        *,
+        partitioned: bool,
+        rng_block: int,
+        record_loads: bool,
+    ) -> None:
+        if not isinstance(trace, EventTrace):
+            raise TypeError(f"trace must be an EventTrace, got {type(trace).__name__}")
+        if trace.n_slots is not None and trace.n_slots != space.n:
+            raise ValueError(
+                f"trace expects {trace.n_slots} bin slots but space has {space.n}"
+            )
+        self.space = space
+        self.n = space.n
+        self.d = check_positive_int(d, "d")
+        self.strategy = TieBreak.coerce(strategy)
+        self.partitioned = partitioned
+        self.trace = trace
+        rng = resolve_rng(rng)
+        # spawned (not consumed) before the insert pre-draw, so the
+        # insert stream matches the static engines' exactly
+        self.aux_rng = rng.spawn(1)[0]
+        self.cands, self.us = _predraw_inserts(
+            space, rng, trace.num_inserts, self.d, partitioned, rng_block
+        )
+        self.loads = np.zeros(self.n, dtype=np.int64)
+        self.ball_bin = np.full(trace.num_inserts, -1, dtype=np.int64)
+        self.active = np.ones(self.n, dtype=bool)
+        self.needs_measures = strategy_needs_measures(self.strategy)
+        self.base_measures = space.region_measures() if self.needs_measures else None
+        self.measures = self.base_measures
+        self.remap: np.ndarray | None = None  # None == identity (no churn yet)
+        self.inserts_done = 0
+        self.deletes_done = 0
+        self.record_loads = record_loads
+        self._max: list[int] = []
+        self._tot: list[int] = []
+        self._live: list[int] = []
+        self._nu: list[np.ndarray] = []
+        self._snaps: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # scalar event application (the sequential engine; conflict steps)
+    # ------------------------------------------------------------------
+    def apply_insert(self, ball: int) -> None:
+        raw = self.cands[ball]
+        cand = raw if self.remap is None else self.remap[raw]
+        row = self.loads[cand]
+        mrow = self.measures[cand] if self.needs_measures else None
+        j = decide_row_scalar(
+            row.tolist(),
+            None if mrow is None else mrow.tolist(),
+            float(self.us[ball]),
+            self.strategy,
+        )
+        chosen = int(cand[j])
+        self.loads[chosen] += 1
+        self.ball_bin[ball] = chosen
+        self.inserts_done += 1
+
+    def apply_delete(self, ball: int) -> None:
+        b = int(self.ball_bin[ball])
+        if b < 0:  # pragma: no cover - excluded by trace validation
+            raise RuntimeError(f"delete of unplaced ball {ball}")
+        self.loads[b] -= 1
+        self.ball_bin[ball] = -1
+        self.deletes_done += 1
+
+    # ------------------------------------------------------------------
+    # churn (shared verbatim: both engines run these scalar)
+    # ------------------------------------------------------------------
+    def bin_leave(self, slot: int) -> None:
+        self.active[slot] = False
+        self._recompute_topology()
+        displaced = np.nonzero(self.ball_bin == slot)[0]
+        self.loads[slot] = 0
+        for ball in displaced:
+            self._replace_ball(int(ball))
+
+    def bin_join(self, slot: int) -> None:
+        # the joining bin starts empty: items placed while it was away
+        # stay where they are (the two-choice DHT convention — no
+        # eager rebalancing on joins)
+        self.active[slot] = True
+        self._recompute_topology()
+
+    def _replace_ball(self, ball: int) -> None:
+        raw = self.space.sample_choice_bins(
+            self.aux_rng, 1, self.d, partitioned=self.partitioned
+        )[0]
+        cand = self.remap[raw]
+        u = float(self.aux_rng.random())
+        row = self.loads[cand]
+        mrow = self.measures[cand] if self.needs_measures else None
+        j = decide_row_scalar(
+            row.tolist(), None if mrow is None else mrow.tolist(), u, self.strategy
+        )
+        chosen = int(cand[j])
+        self.loads[chosen] += 1
+        self.ball_bin[ball] = chosen
+
+    def _recompute_topology(self) -> None:
+        """Rebuild the cyclic-successor remap and merged measures."""
+        if self.active.all():
+            self.remap = None
+            self.measures = self.base_measures
+            return
+        n = self.n
+        sentinel = 2 * n
+        cand = np.where(self.active, np.arange(n, dtype=np.int64), sentinel)
+        # next active index at or after j, wrapping to the first active
+        succ = np.minimum.accumulate(cand[::-1])[::-1]
+        first = int(np.argmax(self.active))
+        self.remap = np.where(succ >= sentinel, first, succ).astype(np.int64)
+        if self.base_measures is not None:
+            self.measures = np.bincount(
+                self.remap, weights=self.base_measures, minlength=n
+            )
+
+    # ------------------------------------------------------------------
+    # snapshots and result assembly
+    # ------------------------------------------------------------------
+    def snapshot(self) -> None:
+        live_loads = self.loads[self.active]
+        self._max.append(int(live_loads.max()))
+        self._tot.append(self.inserts_done - self.deletes_done)
+        self._live.append(int(self.active.sum()))
+        self._nu.append(nu_profile(live_loads))
+        if self.record_loads:
+            self._snaps.append(self.loads.copy())
+
+    def result(self, engine: str) -> DynamicResult:
+        return DynamicResult(
+            loads=self.loads,
+            active=self.active,
+            d=self.d,
+            strategy=self.strategy,
+            engine=engine,
+            inserts=self.inserts_done,
+            deletes=self.deletes_done,
+            epoch_ends=self.trace.epoch_ends,
+            max_load_over_time=np.array(self._max, dtype=np.int64),
+            total_load_over_time=np.array(self._tot, dtype=np.int64),
+            live_bins_over_time=np.array(self._live, dtype=np.int64),
+            nu_profiles=tuple(self._nu),
+            partitioned=self.partitioned,
+            load_snapshots=tuple(self._snaps) if self.record_loads else None,
+        )
+
+
+def run_sequential_dynamic(
+    space: GeometricSpace,
+    trace: EventTrace,
+    d: int,
+    strategy: TieBreak,
+    rng,
+    *,
+    partitioned: bool = False,
+    rng_block: int = DEFAULT_RNG_BLOCK,
+    record_loads: bool = False,
+) -> DynamicResult:
+    """Reference engine: replay the trace one event at a time."""
+    state = _DynamicState(
+        space,
+        trace,
+        d,
+        strategy,
+        rng,
+        partitioned=partitioned,
+        rng_block=rng_block,
+        record_loads=record_loads,
+    )
+    kinds = trace.kinds
+    args = trace.args
+    epoch_ends = trace.epoch_ends
+    next_epoch_idx = 0
+    for i in range(trace.num_events):
+        kind = kinds[i]
+        arg = int(args[i])
+        if kind == EventKind.INSERT:
+            state.apply_insert(arg)
+        elif kind == EventKind.DELETE:
+            state.apply_delete(arg)
+        elif kind == EventKind.BIN_LEAVE:
+            state.bin_leave(arg)
+        else:
+            state.bin_join(arg)
+        if next_epoch_idx < epoch_ends.size and i + 1 == int(epoch_ends[next_epoch_idx]):
+            state.snapshot()
+            next_epoch_idx += 1
+    return state.result("sequential")
+
+
+def _run_event_window(
+    state: _DynamicState,
+    kinds: np.ndarray,
+    args: np.ndarray,
+    start: int,
+    stop: int,
+    batch_size: int,
+) -> None:
+    """Batched processing of a churn-free window of inserts/deletes."""
+    d = state.d
+    i = start
+    while i < stop:
+        end = min(i + batch_size, stop)
+        kw = kinds[i:end]
+        aw = args[i:end]
+        is_insert = kw == EventKind.INSERT
+        b = end - i
+        touched = np.empty((b, d), dtype=np.int64)
+        if is_insert.any():
+            raw = state.cands[aw[is_insert]]
+            touched[is_insert] = raw if state.remap is None else state.remap[raw]
+        if not is_insert.all():
+            touched[~is_insert] = state.ball_bin[aw[~is_insert], None]
+        prefix = mixed_conflict_prefix(touched, is_insert)
+        # --- apply the conflict-free prefix from the current loads ---
+        p_ins = is_insert[:prefix]
+        ins_ids = aw[:prefix][p_ins]
+        if ins_ids.size:
+            sub = touched[:prefix][p_ins]
+            cand_loads = state.loads[sub]
+            cand_measures = state.measures[sub] if state.needs_measures else None
+            j = decide_rows(cand_loads, cand_measures, state.us[ins_ids], state.strategy)
+            chosen = sub[np.arange(ins_ids.size), j]
+            # prefix inserts have pairwise-disjoint candidates: no dups
+            state.loads[chosen] += 1
+            state.ball_bin[ins_ids] = chosen
+            state.inserts_done += int(ins_ids.size)
+        del_ids = aw[:prefix][~p_ins]
+        if del_ids.size:
+            bins = state.ball_bin[del_ids]
+            np.subtract.at(state.loads, bins, 1)
+            state.ball_bin[del_ids] = -1
+            state.deletes_done += int(del_ids.size)
+        i += prefix
+        if prefix < b:
+            # the event at `i` reads a bin the prefix touched: its
+            # decision needs the updated loads, so step it scalar
+            if is_insert[prefix]:
+                state.apply_insert(int(aw[prefix]))
+            else:
+                state.apply_delete(int(aw[prefix]))
+            i += 1
+
+
+def run_batched_dynamic(
+    space: GeometricSpace,
+    trace: EventTrace,
+    d: int,
+    strategy: TieBreak,
+    rng,
+    *,
+    partitioned: bool = False,
+    rng_block: int = DEFAULT_RNG_BLOCK,
+    batch_size: int | None = None,
+    record_loads: bool = False,
+) -> DynamicResult:
+    """Vectorized engine: mixed-event conflict-free-prefix batching.
+
+    Bit-identical to :func:`run_sequential_dynamic` (enforced by tests):
+    randomness is pre-drawn in the shared layout, decisions run through
+    the same tie-break kernels, churn events and snapshots are shared
+    scalar code acting as batch barriers, and only events provably
+    independent of intra-batch ordering are decided together.
+    """
+    if batch_size is None:
+        batch_size = auto_batch_size(space.n, d)
+    batch_size = check_positive_int(batch_size, "batch_size")
+    state = _DynamicState(
+        space,
+        trace,
+        d,
+        strategy,
+        rng,
+        partitioned=partitioned,
+        rng_block=rng_block,
+        record_loads=record_loads,
+    )
+    kinds = trace.kinds
+    args = trace.args
+    churn_positions = np.nonzero(kinds >= EventKind.BIN_LEAVE)[0]
+    churn_ptr = 0
+    i = 0
+    for epoch_end in trace.epoch_ends.tolist():
+        while i < epoch_end:
+            if churn_ptr < churn_positions.size and churn_positions[churn_ptr] == i:
+                if kinds[i] == EventKind.BIN_LEAVE:
+                    state.bin_leave(int(args[i]))
+                else:
+                    state.bin_join(int(args[i]))
+                churn_ptr += 1
+                i += 1
+                continue
+            stop = epoch_end
+            if churn_ptr < churn_positions.size:
+                stop = min(stop, int(churn_positions[churn_ptr]))
+            _run_event_window(state, kinds, args, i, stop, batch_size)
+            i = stop
+        state.snapshot()
+    return state.result("batched")
+
+
+def simulate_dynamics(
+    space: GeometricSpace,
+    trace: EventTrace,
+    d: int = 2,
+    *,
+    strategy: TieBreak | str = TieBreak.RANDOM,
+    seed=None,
+    engine: str = "auto",
+    batch_size: int | None = None,
+    rng_block: int = DEFAULT_RNG_BLOCK,
+    partitioned: bool = False,
+    record_loads: bool = False,
+) -> DynamicResult:
+    """Replay a dynamic workload on a space — the dynamics facade.
+
+    The dynamic counterpart of :func:`repro.core.placement.place_balls`:
+    same seed handling, same engine auto-selection, same guarantee that
+    the engine choice never changes the result.
+
+    Examples
+    --------
+    >>> from repro.core import RingSpace
+    >>> from repro.dynamics import steady_state_trace
+    >>> ring = RingSpace.random(128, seed=1)
+    >>> trace = steady_state_trace(128, pairs=256, seed=2)
+    >>> res = simulate_dynamics(ring, trace, d=2, seed=3)
+    >>> res.occupancy
+    128
+    >>> res.peak_max_load <= 8
+    True
+    """
+    strat = TieBreak.coerce(strategy)
+    rng = resolve_rng(seed)
+    if engine == "auto":
+        engine = _static_auto_engine(space.n)
+    if engine == "sequential":
+        return run_sequential_dynamic(
+            space,
+            trace,
+            d,
+            strat,
+            rng,
+            partitioned=partitioned,
+            rng_block=rng_block,
+            record_loads=record_loads,
+        )
+    if engine == "batched":
+        return run_batched_dynamic(
+            space,
+            trace,
+            d,
+            strat,
+            rng,
+            partitioned=partitioned,
+            rng_block=rng_block,
+            batch_size=batch_size,
+            record_loads=record_loads,
+        )
+    raise ValueError(
+        f"engine must be 'auto', 'sequential' or 'batched', got {engine!r}"
+    )

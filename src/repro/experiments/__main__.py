@@ -10,6 +10,11 @@ Paper-scale Table 3 over all cores::
 
     python -m repro.experiments table3 --full --trials 1000 --jobs 0
 
+Peak max load along dynamic insert/delete/churn trajectories
+(steady-state, Poisson, adversarial bursts, churn storms)::
+
+    python -m repro.experiments dynamic_churn
+
 List everything::
 
     python -m repro.experiments --list
@@ -28,7 +33,10 @@ __all__ = ["main"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the paper's tables and validations.",
+        description=(
+            "Regenerate the paper's tables and validations, plus the "
+            "dynamic_churn trajectory experiment."
+        ),
     )
     parser.add_argument("name", nargs="?", help="experiment id (see --list)")
     parser.add_argument(

@@ -10,6 +10,7 @@ __all__ = ["get_experiment", "list_experiments"]
 def _load() -> dict[str, Callable]:
     from repro.experiments import (
         ablations,
+        dynamic_churn,
         lemma_validation,
         table1,
         table2,
@@ -23,6 +24,7 @@ def _load() -> dict[str, Callable]:
         "table3": table3.run,
         "fig1_lemma8": lemma_validation.run,
         "theory_vs_sim": theory_check.run,
+        "dynamic_churn": dynamic_churn.run,
         "ablation_tiebreak": ablations.tiebreak_sweep,
         "ablation_mn": ablations.mn_sweep,
         "ablation_dim": ablations.dimension_sweep,

@@ -33,6 +33,7 @@ DEFAULT_PLAN: dict[str, tuple[str, dict]] = {
     "ablation_dim": ("ablation_dim", dict(trials=50)),
     "ablation_geometry": ("ablation_geometry", dict(trials=50)),
     "ablation_staleness": ("ablation_staleness", dict(trials=30)),
+    "dynamic_churn": ("dynamic_churn", dict(trials=25)),
 }
 
 

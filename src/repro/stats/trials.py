@@ -24,7 +24,13 @@ from repro.stats.distributions import MaxLoadDistribution
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import check_positive_int
 
-__all__ = ["CellSpec", "simulate_max_load", "run_cell", "run_cell_profile"]
+__all__ = [
+    "CellSpec",
+    "simulate_max_load",
+    "run_cell",
+    "run_cell_profile",
+    "run_trial_map",
+]
 
 _SPACES = ("ring", "torus", "uniform")
 
@@ -160,9 +166,9 @@ def run_cell_profile(
     return acc / trials
 
 
-def _worker(args) -> int:
-    spec, entropy_state = args
-    return simulate_max_load(spec, np.random.SeedSequence(**entropy_state))
+def _worker(args):
+    fn, context, entropy_state = args
+    return fn(context, np.random.SeedSequence(**entropy_state))
 
 
 def _seed_state(ss: np.random.SeedSequence) -> dict:
@@ -171,6 +177,28 @@ def _seed_state(ss: np.random.SeedSequence) -> dict:
         "spawn_key": ss.spawn_key,
         "pool_size": ss.pool_size,
     }
+
+
+def run_trial_map(fn, context, trials: int, seed=None, *, n_jobs: int | None = 1) -> list:
+    """Run ``fn(context, seed_seq)`` for ``trials`` spawned seeds.
+
+    The shared trial harness: per-trial seeds are spawned from the
+    master seed, and ``n_jobs`` selects serial (1), all cores
+    (``None``) or a fixed pool size — with results independent of that
+    choice.  ``fn`` must be a module-level callable and ``context``
+    picklable so the pool path can ship them to workers.
+    """
+    trials = check_positive_int(trials, "trials")
+    seeds = spawn_seed_sequences(seed, trials)
+    if n_jobs == 1:
+        return [fn(context, ss) for ss in seeds]
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    n_jobs = check_positive_int(n_jobs, "n_jobs")
+    ctx = get_context("fork") if os.name == "posix" else get_context()
+    payload = [(fn, context, _seed_state(ss)) for ss in seeds]
+    with ctx.Pool(min(n_jobs, trials)) as pool:
+        return pool.map(_worker, payload, chunksize=max(1, trials // (4 * n_jobs)))
 
 
 def run_cell(
@@ -195,16 +223,5 @@ def run_cell(
     >>> dist.trials
     8
     """
-    trials = check_positive_int(trials, "trials")
-    seeds = spawn_seed_sequences(seed, trials)
-    if n_jobs == 1:
-        maxima = [simulate_max_load(spec, ss) for ss in seeds]
-    else:
-        if n_jobs is None:
-            n_jobs = os.cpu_count() or 1
-        n_jobs = check_positive_int(n_jobs, "n_jobs")
-        ctx = get_context("fork") if os.name == "posix" else get_context()
-        payload = [(spec, _seed_state(ss)) for ss in seeds]
-        with ctx.Pool(min(n_jobs, trials)) as pool:
-            maxima = pool.map(_worker, payload, chunksize=max(1, trials // (4 * n_jobs)))
+    maxima = run_trial_map(simulate_max_load, spec, trials, seed, n_jobs=n_jobs)
     return MaxLoadDistribution.from_samples(maxima, spec=spec)

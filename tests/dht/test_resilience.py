@@ -113,3 +113,56 @@ class TestChurn:
         rc = ResilientChord(ChordRing.random(128, seed=12))
         report = rc.churn_episode(fail_count=64, lookups=100, seed=13)
         assert report.availability >= 0.9
+
+
+class TestReplayTrace:
+    def _storm(self, n, **kwargs):
+        from repro.dynamics.events import churn_storm_trace
+
+        return churn_storm_trace(n, 2 * n, **kwargs)
+
+    def test_one_report_per_epoch(self):
+        rc = ResilientChord(ChordRing.random(64, seed=20))
+        trace = self._storm(64, waves=2, leave_fraction=0.2, seed=21)
+        reports = rc.replay_trace(trace, lookups_per_epoch=40, seed=22)
+        assert len(reports) == int(trace.epoch_ends.size)
+        assert all(0.0 <= r.availability <= 1.0 for r in reports)
+
+    def test_failures_track_trace_and_recover(self):
+        rc = ResilientChord(ChordRing.random(64, seed=23))
+        trace = self._storm(64, waves=1, leave_fraction=0.25, seed=24)
+        reports = rc.replay_trace(trace, lookups_per_epoch=30, seed=25)
+        # degraded epoch sees the departed nodes as failed...
+        assert max(r.failed_nodes for r in reports) == 16
+        # ...and the rejoin wave restores everyone
+        assert reports[-1].failed_nodes == 0
+        assert rc.alive.all()
+
+    def test_no_rejoin_leaves_nodes_failed(self):
+        rc = ResilientChord(ChordRing.random(64, seed=26))
+        trace = self._storm(64, waves=1, leave_fraction=0.2, rejoin=False, seed=27)
+        rc.replay_trace(trace, lookups_per_epoch=20, seed=28)
+        assert (~rc.alive).sum() == 12
+
+    def test_slot_mismatch_rejected(self):
+        rc = ResilientChord(ChordRing.random(32, seed=29))
+        trace = self._storm(64, waves=1, seed=30)
+        with pytest.raises(ValueError, match="slots"):
+            rc.replay_trace(trace)
+
+    def test_requires_all_alive_start(self):
+        rc = ResilientChord(ChordRing.random(64, seed=31))
+        rc.fail(3)
+        trace = self._storm(64, waves=1, seed=32)
+        with pytest.raises(ValueError, match="all-alive"):
+            rc.replay_trace(trace)
+
+    def test_churn_free_trace_measures_healthy_ring(self):
+        from repro.dynamics.events import steady_state_trace
+
+        rc = ResilientChord(ChordRing.random(64, seed=33))
+        trace = steady_state_trace(32, pairs=16, epochs=2, seed=34)
+        reports = rc.replay_trace(trace, lookups_per_epoch=25, seed=35)
+        assert len(reports) == int(trace.epoch_ends.size)
+        assert all(r.failed_nodes == 0 for r in reports)
+        assert all(r.availability == 1.0 for r in reports)

@@ -1,0 +1,102 @@
+"""Tests for DynamicResult statistics and the static-placement bridge."""
+
+import numpy as np
+import pytest
+
+from repro.core import RingSpace, TieBreak
+from repro.core.loads import imbalance_series, max_load_series, nu_profile_series
+from repro.core.placement import PlacementResult
+from repro.dynamics import simulate_dynamics
+from repro.dynamics.events import adversarial_burst_trace, steady_state_trace
+
+
+@pytest.fixture
+def result(small_ring):
+    trace = adversarial_burst_trace(100, 50, rounds=3, policy="lifo", seed=1)
+    return simulate_dynamics(small_ring, trace, 2, seed=2, record_loads=True)
+
+
+class TestTrajectoryStats:
+    def test_epoch_count(self, result):
+        # base epoch + (spike, drain) per round
+        assert result.epochs == 1 + 2 * 3
+
+    def test_peak_at_spike(self, result):
+        """The peak happens at a spike epoch, above the final max."""
+        assert result.peak_max_load == result.max_load_over_time.max()
+        spikes = result.total_load_over_time.max()
+        assert spikes == 150  # base + burst
+        assert result.occupancy == 100
+
+    def test_series_agree_with_snapshots(self, result):
+        assert np.array_equal(
+            max_load_series(result.load_snapshots), result.max_load_over_time
+        )
+        profiles = nu_profile_series(result.load_snapshots)
+        for mine, theirs in zip(profiles, result.nu_profiles):
+            # all bins active here, so the series coincide
+            assert np.array_equal(mine, theirs)
+
+    def test_imbalance_over_time(self, result):
+        series = result.imbalance_over_time()
+        assert series.shape == (result.epochs,)
+        assert (series >= 1.0).all()
+        direct = imbalance_series(result.load_snapshots)
+        assert np.allclose(series, direct)
+
+    def test_summary_lines(self, result):
+        lines = result.summary_lines()
+        assert len(lines) == result.epochs
+        assert all("max=" in line for line in lines)
+
+    def test_final_nu_profile(self, result):
+        nu = result.final_nu_profile()
+        assert nu[0] == result.live_bins
+        assert nu[-1] >= 1
+
+
+class TestPlacementBridge:
+    def test_from_dynamic_roundtrip(self, result):
+        static = PlacementResult.from_dynamic(result)
+        assert isinstance(static, PlacementResult)
+        assert static.m == result.occupancy
+        assert static.max_load == result.max_load
+        assert np.array_equal(static.nu_profile(), result.final_nu_profile())
+
+    def test_from_dynamic_drops_inactive_bins(self):
+        from repro.dynamics.events import churn_storm_trace
+
+        ring = RingSpace.random(32, seed=0)
+        trace = churn_storm_trace(32, 60, waves=1, leave_fraction=0.25,
+                                  rejoin=False, seed=1)
+        res = simulate_dynamics(ring, trace, 2, seed=2)
+        static = PlacementResult.from_dynamic(res)
+        assert static.n == res.live_bins < 32
+        assert static.m == 60
+
+
+class TestValidation:
+    def test_accounting_mismatch_rejected(self, result):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="accounting"):
+            replace(result, inserts=result.inserts + 1)
+
+    def test_series_length_mismatch_rejected(self, result):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="per epoch"):
+            replace(result, max_load_over_time=np.array([1], dtype=np.int64))
+
+    def test_strategy_recorded(self, result):
+        assert result.strategy is TieBreak.RANDOM
+        assert result.d == 2
+
+
+class TestSteadyStateBehaviour:
+    def test_two_choices_beat_one_along_the_path(self, medium_ring):
+        """The power of two choices persists under turnover."""
+        trace = steady_state_trace(medium_ring.n, pairs=2 * medium_ring.n, seed=5)
+        one = simulate_dynamics(medium_ring, trace, 1, seed=6)
+        two = simulate_dynamics(medium_ring, trace, 2, seed=6)
+        assert two.peak_max_load < one.peak_max_load

@@ -106,6 +106,45 @@ class TestOtherDrivers:
         assert rep.cells[(2, 2)].max <= 6
 
 
+class TestDynamicChurn:
+    def test_structure(self):
+        from repro.experiments.dynamic_churn import run as run_dynamic
+
+        rep = run_dynamic(trials=3, n_values=(64,), scenarios=("steady", "bursts"))
+        assert isinstance(rep, ExperimentReport)
+        assert set(rep.cells) == {(64, "steady"), (64, "bursts")}
+        for dist in rep.cells.values():
+            assert dist.trials == 3
+        assert "Dynamic churn" in rep.render()
+
+    def test_registered(self):
+        assert "dynamic_churn" in list_experiments()
+        assert callable(get_experiment("dynamic_churn"))
+
+    def test_determinism(self):
+        from repro.experiments.dynamic_churn import run as run_dynamic
+
+        kwargs = dict(trials=3, n_values=(64,), scenarios=("poisson",))
+        a = run_dynamic(**kwargs)
+        b = run_dynamic(**kwargs)
+        assert {k: v.counts for k, v in a.cells.items()} == {
+            k: v.counts for k, v in b.cells.items()
+        }
+
+    def test_rejects_unknown_scenario(self):
+        from repro.experiments.dynamic_churn import run as run_dynamic
+
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            run_dynamic(trials=2, n_values=(64,), scenarios=("flood",))
+
+    def test_storm_scenario_runs(self):
+        from repro.experiments.dynamic_churn import run as run_dynamic
+
+        rep = run_dynamic(trials=2, n_values=(64,), scenarios=("storm",))
+        dist = rep.cells[(64, "storm")]
+        assert dist.trials == 2 and dist.min >= 1
+
+
 class TestGeometrySweep:
     def test_structure_and_flattening(self):
         from repro.experiments.ablations import geometry_sweep
