@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Engine throughput emitter: writes the tracked ``BENCH_engine.json``.
+
+Measures balls-per-second for the three placement engines on the
+paper's hot workload — many trials of a ring cell at ``d = 2`` — at
+``n ∈ {2¹², 2¹⁶, 2²⁰}``, and records the fused-over-batched speedup.
+This file seeds the repo's performance trajectory: re-run it after
+engine work and commit the refreshed JSON.
+
+Protocol notes (what makes the numbers comparable):
+
+* all engines place balls into identical pre-built spaces with
+  identical per-trial seeds, so they simulate the *same* process and
+  their outputs cross-check bit-identically (verified at the smallest
+  size on every run);
+* each engine gets an untimed warm-up run (page faults, lazily built
+  bucket tables) and the best of ``--repeats`` timed runs is kept —
+  the shared-box noise here is easily ±15%;
+* slow engines measure fewer trials / balls at the big sizes — the
+  statistic is per-ball throughput, which is trial-count independent.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --fast     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.engine import run_batched, run_sequential
+from repro.core.multitrial import fused_trial_chunk, run_fused
+from repro.core.ring import RingSpace
+from repro.core.strategies import TieBreak
+
+D = 2
+STRATEGY = TieBreak.RANDOM
+
+#: (n, trials, batched_trials, sequential_balls) per measured cell.
+#: Throughput is per-ball and trial-count independent, so the big-n
+#: cell uses one fused chunk's worth of trials — keeping all spaces
+#: (positions + bucket tables) resident stays well under 1 GB.
+FULL_CELLS = (
+    (1 << 12, 100, 100, 1 << 12),
+    (1 << 16, 100, 100, 1 << 14),
+    (1 << 20, 16, 4, 1 << 14),
+)
+FAST_CELLS = (
+    (1 << 10, 16, 16, 1 << 10),
+    (1 << 12, 16, 16, 1 << 11),
+)
+
+
+def _spaces_and_seeds(n: int, trials: int):
+    return [RingSpace.random(n, seed=9000 + k) for k in range(trials)]
+
+
+def _time_best(fn, repeats: int) -> float:
+    fn()  # warm-up: page faults, bucket tables, allocator reuse
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure_cell(n, trials, batched_trials, sequential_balls, repeats):
+    spaces = _spaces_and_seeds(n, trials)
+
+    def fused():
+        # same memory-bounded trial chunking the stats layer applies
+        # (a no-op below n = 2²⁰ at these trial counts)
+        chunk = fused_trial_chunk(n, n, D)
+        rngs = [np.random.default_rng(k) for k in range(trials)]
+        for c0 in range(0, trials, chunk):
+            run_fused(spaces[c0 : c0 + chunk], n, D, STRATEGY,
+                      rngs[c0 : c0 + chunk])
+
+    def batched():
+        for k in range(batched_trials):
+            run_batched(spaces[k], n, D, STRATEGY, np.random.default_rng(k))
+
+    def sequential():
+        run_sequential(spaces[0], sequential_balls, D, STRATEGY,
+                       np.random.default_rng(0))
+
+    timings = {
+        "fused": (_time_best(fused, repeats), trials * n),
+        "batched": (_time_best(batched, repeats), batched_trials * n),
+        "sequential": (_time_best(sequential, repeats), sequential_balls),
+    }
+    engines = {
+        name: {
+            "seconds": round(seconds, 4),
+            "balls": balls,
+            "balls_per_s": round(balls / seconds, 1),
+        }
+        for name, (seconds, balls) in timings.items()
+    }
+    return {
+        "n": n,
+        "trials": trials,
+        "batched_trials": batched_trials,
+        "sequential_balls": sequential_balls,
+        "engines": engines,
+        "speedup_fused_over_batched": round(
+            engines["fused"]["balls_per_s"] / engines["batched"]["balls_per_s"], 2
+        ),
+    }
+
+
+def _cross_check(n: int, trials: int) -> None:
+    """Fused and batched must produce identical loads (fail loudly)."""
+    spaces = _spaces_and_seeds(n, trials)
+    rngs = [np.random.default_rng(k) for k in range(trials)]
+    fused, _ = run_fused(spaces, n, D, STRATEGY, rngs)
+    for k in range(trials):
+        batched, _ = run_batched(spaces[k], n, D, STRATEGY,
+                                 np.random.default_rng(k))
+        if not np.array_equal(fused[k], batched):
+            raise AssertionError(
+                f"fused/batched divergence at n={n}, trial {k} — "
+                "bit-identity broken, refusing to emit benchmark numbers"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="small sizes, 1 repeat (CI smoke mode)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per engine (best kept); "
+                             "default 3, or 1 with --fast")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_engine.json",
+                        help="output path (default: repo-root BENCH_engine.json)")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (1 if args.fast else 3)
+    cells = FAST_CELLS if args.fast else FULL_CELLS
+
+    _cross_check(cells[0][0], min(8, cells[0][1]))
+    results = []
+    for n, trials, batched_trials, sequential_balls in cells:
+        cell = _measure_cell(n, trials, batched_trials, sequential_balls, repeats)
+        results.append(cell)
+        f = cell["engines"]
+        print(
+            f"n=2^{n.bit_length() - 1}: fused {f['fused']['balls_per_s']:,.0f} "
+            f"balls/s, batched {f['batched']['balls_per_s']:,.0f}, "
+            f"sequential {f['sequential']['balls_per_s']:,.0f} "
+            f"(fused/batched = {cell['speedup_fused_over_batched']}x)"
+        )
+
+    payload = {
+        "benchmark": "engine_throughput",
+        "version": __version__,
+        "mode": "fast" if args.fast else "full",
+        "space": "ring",
+        "d": D,
+        "strategy": STRATEGY.value,
+        "repeats": repeats,
+        "unix_time": int(time.time()),
+        "cells": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

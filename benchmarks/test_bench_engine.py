@@ -1,19 +1,27 @@
 """Engine throughput benchmarks: the guide's "measure before optimizing".
 
-Times the two engines and the geometry substrate primitives so
-regressions in the vectorization are caught as numbers, not vibes.
+Times the three engines (sequential reference, batched, trial-fused)
+and the geometry substrate primitives so regressions in the
+vectorization are caught as numbers, not vibes.  ``run_benchmarks.py``
+in this directory turns the same engine comparison into the tracked
+``BENCH_engine.json`` artifact.
 """
 
 import numpy as np
 import pytest
 
 from repro.core.engine import run_batched, run_sequential
+from repro.core.multitrial import run_fused
 from repro.core.ring import RingSpace
 from repro.core.strategies import TieBreak
 from repro.core.torus import TorusSpace
 from repro.utils.rng import resolve_rng
 
 N = 1 << 16
+
+#: Trials fused per benchmark round — enough to show the cross-trial
+#: amortization without blowing up suite runtime.
+FUSED_TRIALS = 8
 
 
 @pytest.fixture(scope="module")
@@ -24,6 +32,11 @@ def big_ring():
 @pytest.fixture(scope="module")
 def big_torus():
     return TorusSpace.random(N, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ring_fleet():
+    return [RingSpace.random(N, seed=100 + k) for k in range(FUSED_TRIALS)]
 
 
 def test_ring_batched_engine(benchmark, big_ring):
@@ -66,3 +79,40 @@ def test_smaller_strategy_overhead(benchmark, big_ring):
         lambda: run_batched(big_ring, N // 4, 2, TieBreak.SMALLER, resolve_rng(4))[0]
     )
     assert loads.sum() == N // 4
+
+
+def test_ring_fused_engine(benchmark, ring_fleet):
+    """All FUSED_TRIALS trials in one fused pass (the table hot path)."""
+
+    def job():
+        rngs = [resolve_rng(1 + k) for k in range(FUSED_TRIALS)]
+        return run_fused(ring_fleet, N, 2, TieBreak.RANDOM, rngs)[0]
+
+    loads = benchmark(job)
+    assert loads.shape == (FUSED_TRIALS, N)
+    assert loads.sum() == FUSED_TRIALS * N
+
+
+def test_ring_batched_same_fleet(benchmark, ring_fleet):
+    """The same workload as ``test_ring_fused_engine``, per-trial batched
+    — the pairing whose ratio is the fused engine's raison d'être."""
+
+    def job():
+        total = 0
+        for k, space in enumerate(ring_fleet):
+            total += run_batched(space, N, 2, TieBreak.RANDOM, resolve_rng(1 + k))[
+                0
+            ].sum()
+        return total
+
+    total = benchmark(job)
+    assert total == FUSED_TRIALS * N
+
+
+def test_fused_equals_batched_fleet(ring_fleet):
+    """Not a timing: the two paths above really run the same process."""
+    rngs = [resolve_rng(1 + k) for k in range(FUSED_TRIALS)]
+    fused, _ = run_fused(ring_fleet, N, 2, TieBreak.RANDOM, rngs)
+    for k, space in enumerate(ring_fleet):
+        batched, _ = run_batched(space, N, 2, TieBreak.RANDOM, resolve_rng(1 + k))
+        assert np.array_equal(fused[k], batched)

@@ -6,16 +6,19 @@ The pipeline is::
     result = place_balls(space, m=n, d=2)      # greedy least-loaded insertion
     result.max_load                            # the statistic in Tables 1-3
 
-``place_balls`` is a facade over two interchangeable engines (an exact
-sequential reference and a conflict-free-prefix vectorized engine) that
-produce bit-identical results; see :mod:`repro.core.engine`.
+``place_balls`` is a facade over three interchangeable engines (an
+exact sequential reference, a conflict-free-prefix vectorized engine,
+and a trial-fused engine that vectorizes across independent runs) that
+produce bit-identical results; see :mod:`repro.core.engine` and
+:mod:`repro.core.multitrial`.  ``place_balls_multi`` runs many
+independent repetitions through the fused engine in one pass.
 """
 
 from repro.core.spaces import GeometricSpace
 from repro.core.ring import RingSpace
 from repro.core.torus import TorusSpace
 from repro.core.strategies import TieBreak
-from repro.core.placement import PlacementResult, place_balls
+from repro.core.placement import PlacementResult, place_balls, place_balls_multi
 from repro.core.rounds import place_balls_in_rounds
 from repro.core.loads import (
     height_counts_from_loads,
@@ -34,6 +37,7 @@ __all__ = [
     "TieBreak",
     "PlacementResult",
     "place_balls",
+    "place_balls_multi",
     "place_balls_in_rounds",
     "load_histogram",
     "nu_profile",

@@ -21,9 +21,35 @@ module provides:
     random candidates the expected prefix length is Θ(√n / d), giving
     large speedups at the table sizes the paper uses (n up to 2²⁴).
 
-Both engines produce **bit-identical** load vectors for the same seed;
+``fused`` (:mod:`repro.core.multitrial`)
+    The table workloads run many *independent trials* of the same cell,
+    and within one trial the conflict-free prefix saturates at
+    Θ(√n / d) — the per-call numpy overhead is paid every few hundred
+    balls no matter how large ``n`` grows.  The fused engine runs all
+    ``T`` trials against a single ``(T·n,)`` load array, offsetting
+    trial ``k``'s bins by ``k·n`` and interleaving ball rows
+    round-robin across trials.  Rows from different trials can never
+    conflict, so the expected prefix grows to Θ(T·√n / d) and one
+    ``np.unique`` + one ``decide_rows`` call amortize over hundreds of
+    balls.  Each trial's RNG stream, decision order and tie-break
+    arithmetic are untouched, so per-trial results stay bit-identical
+    to ``sequential``.
+
+Engine-selection model (what ``auto`` means at each layer):
+
+* :func:`repro.core.placement.place_balls` — single run: ``sequential``
+  below ``_BATCHED_MIN_BINS`` bins (prefixes too short to amortize),
+  ``batched`` above.
+* :func:`repro.stats.trials.run_cell` — many runs
+  (``auto_cell_engine``): a process pool when ``n_jobs != 1`` (each
+  worker then applies the single-run rule), ``fused`` for any serial
+  cell with at least two trials (cross-trial amortization wins from
+  tiny ``n`` upward), the single-run rule otherwise.
+
+All engines produce **bit-identical** load vectors for the same seed;
 the test suite enforces this property across spaces, strategies and
-shapes.
+shapes — the vectorized engines may reorganize arithmetic, never
+change results.
 """
 
 from __future__ import annotations
@@ -36,7 +62,7 @@ import numpy as np
 from repro.core.spaces import GeometricSpace
 from repro.core.strategies import (
     TieBreak,
-    decide_row_scalar,
+    decide_row,
     decide_rows,
     strategy_needs_measures,
 )
@@ -135,12 +161,13 @@ def _step_scalar(
     strategy: TieBreak,
     heights: list | None,
 ) -> None:
-    """Place a single ball (shared by both engines at conflict points)."""
-    cand_loads = loads[cand]
-    cand_measures = measures[cand] if measures is not None else None
-    j = decide_row_scalar(cand_loads.tolist(),
-                          None if cand_measures is None else cand_measures.tolist(),
-                          float(u), strategy)
+    """Place a single ball (shared by all engines at conflict points)."""
+    j = decide_row(
+        loads[cand],
+        measures[cand] if measures is not None else None,
+        u,
+        strategy,
+    )
     chosen = int(cand[j])
     if heights is not None:
         heights.append(int(loads[chosen]) + 1)

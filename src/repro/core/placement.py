@@ -1,18 +1,25 @@
 """High-level facade for the greedy d-choice placement process.
 
 :func:`place_balls` is the single entry point used by experiments,
-examples and baselines.  It wires a :class:`~repro.core.spaces.
-GeometricSpace` to one of the two engines and wraps the outcome in a
-:class:`PlacementResult` carrying the statistics the paper reports.
+examples and baselines for one run.  It wires a
+:class:`~repro.core.spaces.GeometricSpace` to one of the engines and
+wraps the outcome in a :class:`PlacementResult` carrying the statistics
+the paper reports.  :func:`place_balls_multi` is its many-runs twin:
+independent repetitions of the same process (the tables' trials) are
+executed through the trial-fused engine in one vectorized pass, one
+:class:`PlacementResult` per run, bit-identical to calling
+:func:`place_balls` per run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.core import engine as _engine
+from repro.core import multitrial as _multitrial
 from repro.core.loads import (
     height_counts_from_loads,
     load_histogram,
@@ -25,7 +32,7 @@ from repro.core.strategies import TieBreak
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
-__all__ = ["PlacementResult", "place_balls"]
+__all__ = ["PlacementResult", "place_balls", "place_balls_multi"]
 
 
 @dataclass(frozen=True)
@@ -43,7 +50,8 @@ class PlacementResult:
     partitioned:
         Whether choices were drawn from Vöcking's interval partition.
     engine:
-        Which engine produced the result (``"sequential"``/``"batched"``).
+        Which engine produced the result
+        (``"sequential"``/``"batched"``/``"fused"``).
     heights:
         Per-ball heights (1-based), present only when requested.
     """
@@ -157,8 +165,10 @@ def place_balls(
     seed:
         Anything :func:`repro.utils.rng.resolve_rng` accepts.
     engine:
-        ``"auto"`` (default), ``"sequential"`` or ``"batched"``.  Both
-        engines give bit-identical results for a given seed.
+        ``"auto"`` (default), ``"sequential"`` or ``"batched"``.  All
+        engines give bit-identical results for a given seed.  (For
+        many independent runs, :func:`place_balls_multi` additionally
+        offers the trial-fused engine.)
     batch_size:
         Batched-engine batch; ``None`` lets :func:`auto_batch_size`
         tune it to the expected conflict-free prefix length.
@@ -218,3 +228,75 @@ def place_balls(
         engine=engine,
         heights=heights,
     )
+
+
+def place_balls_multi(
+    spaces: Sequence[GeometricSpace],
+    m: int,
+    d: int = 2,
+    *,
+    strategy: TieBreak | str = TieBreak.RANDOM,
+    partitioned: bool = False,
+    seeds=None,
+    batch_size: int | None = None,
+    rng_block: int = _engine.DEFAULT_RNG_BLOCK,
+    record_heights: bool = False,
+) -> list[PlacementResult]:
+    """Run the greedy process once per space, fused across runs.
+
+    The runs are independent repetitions (one space and one RNG stream
+    each — the paper's table trials), executed together by
+    :func:`repro.core.multitrial.run_fused`: run ``k`` is bit-identical
+    to ``place_balls(spaces[k], ..., seed=seeds[k])``, but all numpy
+    work is batched across runs.
+
+    Parameters
+    ----------
+    spaces:
+        One space per run; all must share the same bin count.
+    seeds:
+        ``None`` (fresh entropy per run) or a sequence of per-run
+        seeds, each anything :func:`repro.utils.rng.resolve_rng`
+        accepts.
+
+    Examples
+    --------
+    >>> from repro.core import RingSpace
+    >>> rings = [RingSpace.random(64, seed=s) for s in (1, 2)]
+    >>> results = place_balls_multi(rings, m=64, d=2, seeds=[3, 4])
+    >>> [r.max_load == place_balls(rings[i], 64, 2, seed=3 + i).max_load
+    ...  for i, r in enumerate(results)]
+    [True, True]
+    """
+    m = check_non_negative_int(m, "m")
+    d = check_positive_int(d, "d")
+    strat = TieBreak.coerce(strategy)
+    if seeds is None:
+        rngs = [resolve_rng(None) for _ in spaces]
+    else:
+        if len(seeds) != len(spaces):
+            raise ValueError(f"got {len(spaces)} spaces but {len(seeds)} seeds")
+        rngs = [resolve_rng(s) for s in seeds]
+    loads, heights = _multitrial.run_fused(
+        spaces,
+        m,
+        d,
+        strat,
+        rngs,
+        partitioned=partitioned,
+        rng_block=rng_block,
+        batch_size=batch_size,
+        record_heights=record_heights,
+    )
+    return [
+        PlacementResult(
+            loads=loads[k],
+            m=m,
+            d=d,
+            strategy=strat,
+            partitioned=partitioned,
+            engine="fused",
+            heights=heights[k] if heights is not None else None,
+        )
+        for k in range(len(spaces))
+    ]

@@ -16,6 +16,18 @@ Server positions are kept **sorted** so ownership queries are a single
 ``np.searchsorted`` (binary search, O(log n) per query, fully
 vectorized).  The sort is done once at construction; arc lengths are the
 adjacent differences with wraparound.
+
+For the bulk queries the placement engines issue (an RNG block is up to
+2¹⁶ balls × d choices), binary search is the hot path: ~log₂ n
+dependent cache misses per query.  Large query batches therefore go
+through a **bucket lookup table**: the circle is cut into a power-of-two
+number of equal buckets and ``table[b]`` caches
+``searchsorted(pos, b / B)``.  A query then costs one table gather plus
+on average under one linear-probe step (bucket occupancy ≤ 1).  Because
+``B`` is a power of two, ``x·B`` and ``b/B`` are exact in float64, so
+the fast path returns *exactly* the index binary search would — the
+engines' bit-identity doctrine extends to the geometry substrate (and
+the test suite checks the two paths against each other).
 """
 
 from __future__ import annotations
@@ -60,6 +72,8 @@ class RingSpace(GeometricSpace):
             raise ValueError("positions must be distinct")
         self._pos = pos
         self.n = int(pos.size)
+        # (nbuckets, table, pos_ext) — built lazily on bulk queries
+        self._lut: tuple[int, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -81,6 +95,66 @@ class RingSpace(GeometricSpace):
         v.flags.writeable = False
         return v
 
+    #: Below these sizes the bucket table isn't worth building/using.
+    _LUT_MIN_BINS = 1024
+    _LUT_MIN_QUERIES = 1024
+
+    def _bucket_table(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """Lazy ``(B, table, pos_ext)`` with
+        ``table[b] = searchsorted(pos, b/B)`` and ``pos_ext`` the
+        positions padded with a ``+inf`` probe sentinel.
+
+        ``B`` is the power of two ≥ n, so bucket occupancy averages ≤ 1
+        and every ``x·B`` / ``b/B`` is exact in float64.  Built in O(n)
+        from the sorted positions (bincount + cumsum), not by binary
+        search.
+        """
+        if self._lut is None:
+            nbuckets = 1 << max(0, int(self.n - 1).bit_length())
+            occupancy = np.bincount(
+                (self._pos * nbuckets).astype(np.int64), minlength=nbuckets
+            )
+            table = np.empty(nbuckets + 1, dtype=np.int32)
+            table[0] = 0
+            np.cumsum(occupancy, out=table[1:])
+            # +inf sentinel stops the probe loop at idx == n without
+            # per-query upper bounds
+            pos_ext = np.append(self._pos, np.inf)
+            self._lut = (nbuckets, table, pos_ext)
+        return self._lut
+
+    def _assign_bucketed(self, pts: np.ndarray) -> np.ndarray:
+        """Bucket-table twin of ``searchsorted(pos, pts, side='left')``.
+
+        Start at the cached lower bound of the query's bucket and
+        linearly advance past positions < query; exactness of the
+        power-of-two bucket arithmetic guarantees the start is never
+        past the true answer, and the sentinel/occupancy bound the walk.
+        """
+        nbuckets, table, pos_ext = self._bucket_table()
+        idx = table[(pts * nbuckets).astype(np.int32)]
+        # first probe on the full array (cheap, contiguous); survivors
+        # — queries whose bucket holds several servers — are rare and
+        # handled on a compressed index set
+        adv = pos_ext[idx] < pts
+        np.add(idx, adv, out=idx, casting="unsafe")
+        active = np.flatnonzero(adv)
+        active = active[pos_ext[idx[active]] < pts[active]]
+        while active.size:
+            idx[active] += 1
+            active = active[pos_ext[idx[active]] < pts[active]]
+        return idx
+
+    def _assign_trusted(self, pts: np.ndarray) -> np.ndarray:
+        """``assign`` without domain validation, for engine-generated
+        points that are uniform draws in [0, 1) by construction."""
+        if pts.size >= self._LUT_MIN_QUERIES and self.n >= self._LUT_MIN_BINS:
+            idx = self._assign_bucketed(pts.ravel()).reshape(pts.shape)
+        else:
+            # 'left': first index with pos >= x, the clockwise successor.
+            idx = np.searchsorted(self._pos, pts, side="left")
+        return np.asarray(idx % self.n, dtype=np.int64)
+
     def assign(self, points: np.ndarray) -> np.ndarray:
         """Owning bin of each point: clockwise successor server.
 
@@ -90,9 +164,7 @@ class RingSpace(GeometricSpace):
         pts = np.asarray(points, dtype=np.float64)
         if pts.size and (np.any(pts < 0.0) or np.any(pts >= 1.0)):
             raise ValueError("points must lie in [0, 1)")
-        # 'left': first index with pos >= x, i.e. the clockwise successor.
-        idx = np.searchsorted(self._pos, pts, side="left")
-        return np.asarray(idx % self.n, dtype=np.int64)
+        return self._assign_trusted(pts)
 
     def sample_choice_bins(
         self,
@@ -111,7 +183,7 @@ class RingSpace(GeometricSpace):
         u = rng.random((m, d))
         if partitioned:
             u = (u + np.arange(d)) / d
-        return self.assign(u.ravel()).reshape(m, d)
+        return self._assign_trusted(u.ravel()).reshape(m, d)
 
     def region_measures(self) -> np.ndarray:
         """Arc lengths: bin ``j`` owns ``(pos[j-1], pos[j]]`` (wrapping).

@@ -14,9 +14,9 @@ paper's Table 3 compares four strategies on the ring at ``d = 2``:
   (here: the lowest choice index, combined with ``partitioned=True``
   sampling).
 
-Both engines resolve ties through the *same* kernels below (a scalar
-variant and a vectorized batch variant with identical arithmetic), so
-their outputs agree bit-for-bit.
+All engines resolve ties through the *same* kernels below (a scalar
+variant, a numpy single-row variant and a vectorized batch variant
+with identical arithmetic), so their outputs agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -26,7 +26,13 @@ import math
 
 import numpy as np
 
-__all__ = ["TieBreak", "decide_rows", "decide_row_scalar", "strategy_needs_measures"]
+__all__ = [
+    "TieBreak",
+    "decide_rows",
+    "decide_row",
+    "decide_row_scalar",
+    "strategy_needs_measures",
+]
 
 
 class TieBreak(str, enum.Enum):
@@ -89,18 +95,36 @@ def decide_rows(
     if loads.ndim != 2:
         raise ValueError(f"cand_loads must be 2-D, got shape {loads.shape}")
     b, d = loads.shape
-    min_load = loads.min(axis=1)
-    tied = loads == min_load[:, None]
+    # Work column-by-column: d is tiny (1-4) while b is the batch, so
+    # length-b contiguous kernels beat numpy's axis-1 reductions, whose
+    # per-row dispatch dominates on (b, small) arrays.  The arithmetic
+    # (min/tie mask, floor(u·k) rule, first-index preference) is
+    # unchanged from the definitional row-wise form that decide_row /
+    # decide_row_scalar implement.
+    cols = [loads[:, j] for j in range(d)]
+    min_load = cols[0].copy()
+    for c in cols[1:]:
+        np.minimum(min_load, c, out=min_load)
+    tied = [c == min_load for c in cols]
+    out = np.zeros(b, dtype=np.int64)
 
     if strategy is TieBreak.FIRST:
-        return np.argmax(tied, axis=1).astype(np.int64)
+        # lowest tied index: assign high columns first, let low overwrite
+        for j in range(d - 1, -1, -1):
+            out[tied[j]] = j
+        return out
 
     if strategy is TieBreak.RANDOM:
-        k = tied.sum(axis=1)
+        k = tied[0].astype(np.int64)
+        for t in tied[1:]:
+            k += t
         # floor(u * k) is in [0, k-1] because u < 1
         target = (np.asarray(tiebreak_uniforms) * k).astype(np.int64) + 1
-        cum = np.cumsum(tied, axis=1)
-        return np.argmax(cum == target[:, None], axis=1).astype(np.int64)
+        run = np.zeros(b, dtype=np.int64)
+        for j in range(d):
+            run += tied[j]
+            out[tied[j] & (run == target)] = j
+        return out
 
     if cand_measures is None:
         raise ValueError(f"strategy {strategy.value!r} requires candidate measures")
@@ -109,12 +133,55 @@ def decide_rows(
         raise ValueError(
             f"cand_measures shape {key.shape} != cand_loads shape {loads.shape}"
         )
+    if strategy in (TieBreak.SMALLER, TieBreak.LARGER):
+        sentinel = np.inf if strategy is TieBreak.SMALLER else -np.inf
+        best = np.where(tied[0], key[:, 0], sentinel)
+        for j in range(1, d):
+            cand = np.where(tied[j], key[:, j], sentinel)
+            # strict comparison keeps the lowest index on measure ties
+            upd = cand < best if strategy is TieBreak.SMALLER else cand > best
+            out[upd] = j
+            if strategy is TieBreak.SMALLER:
+                np.minimum(best, cand, out=best)
+            else:
+                np.maximum(best, cand, out=best)
+        return out
+    raise AssertionError(f"unhandled strategy {strategy!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# single-row kernel: one ball, numpy in / numpy out (conflict step of the
+# batched and fused engines — no Python-list round trip)
+# ----------------------------------------------------------------------
+def decide_row(
+    cand_loads: np.ndarray,
+    cand_measures: np.ndarray | None,
+    tiebreak_u: float,
+    strategy: TieBreak,
+) -> int:
+    """Single-row twin of :func:`decide_rows`.
+
+    Takes the length-``d`` load (and measure) rows as numpy arrays and
+    performs the row-wise arithmetic of :func:`decide_rows` directly —
+    same min/tie mask, same ``floor(u * k)`` rule, same first-index
+    preference — so engines may mix batch and single-ball decisions
+    freely without breaking bit-identity.
+    """
+    min_load = cand_loads.min()
+    tied = cand_loads == min_load
+    if strategy is TieBreak.FIRST:
+        return int(np.argmax(tied))
+    if strategy is TieBreak.RANDOM:
+        k = int(tied.sum())
+        # truncation == floor: u * k is non-negative
+        target = int(tiebreak_u * k) + 1
+        return int(np.argmax(np.cumsum(tied) == target))
+    if cand_measures is None:
+        raise ValueError(f"strategy {strategy.value!r} requires candidate measures")
     if strategy is TieBreak.SMALLER:
-        masked = np.where(tied, key, np.inf)
-        return np.argmin(masked, axis=1).astype(np.int64)
+        return int(np.argmin(np.where(tied, cand_measures, np.inf)))
     if strategy is TieBreak.LARGER:
-        masked = np.where(tied, key, -np.inf)
-        return np.argmax(masked, axis=1).astype(np.int64)
+        return int(np.argmax(np.where(tied, cand_measures, -np.inf)))
     raise AssertionError(f"unhandled strategy {strategy!r}")  # pragma: no cover
 
 

@@ -143,6 +143,7 @@ def tiebreak_sweep(
     trials: int = 100,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    engine: str = "auto",
 ) -> ExperimentReport:
     """Strategies x d grid at fixed n."""
     cells = {}
@@ -154,6 +155,7 @@ def tiebreak_sweep(
                 trials,
                 seed=stable_hash_seed("abl-tie", seed, n, d, name),
                 n_jobs=n_jobs,
+                engine=engine,
             )
     return ExperimentReport(
         name="ablation_tiebreak",
@@ -175,6 +177,7 @@ def mn_sweep(
     trials: int = 50,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    engine: str = "auto",
 ) -> ExperimentReport:
     """Max load vs m/n (the heavily loaded remark)."""
     cells = {}
@@ -186,6 +189,7 @@ def mn_sweep(
                 trials,
                 seed=stable_hash_seed("abl-mn", seed, n, r, d),
                 n_jobs=n_jobs,
+                engine=engine,
             )
     return ExperimentReport(
         name="ablation_mn",
@@ -207,6 +211,7 @@ def dimension_sweep(
     trials: int = 50,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    engine: str = "auto",
 ) -> ExperimentReport:
     """Torus dimension sweep (the higher-dimension remark)."""
     cells = {}
@@ -218,6 +223,7 @@ def dimension_sweep(
                 trials,
                 seed=stable_hash_seed("abl-dim", seed, n, dim, d),
                 n_jobs=n_jobs,
+                engine=engine,
             )
     return ExperimentReport(
         name="ablation_dim",

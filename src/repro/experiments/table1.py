@@ -29,9 +29,14 @@ def run(
     d_values=D_VALUES,
     seed: int = 20030206,  # the TR's publication date
     n_jobs: int | None = 1,
+    engine: str = "auto",
     full: bool = False,
 ) -> ExperimentReport:
-    """Regenerate Table 1 (scaled by default; ``full=True`` for paper scale)."""
+    """Regenerate Table 1 (scaled by default; ``full=True`` for paper scale).
+
+    ``engine`` is forwarded to :func:`repro.stats.trials.run_cell`;
+    the default auto-selects the trial-fused engine for serial runs.
+    """
     if n_values is None:
         n_values = FULL_N_VALUES if full else DEFAULT_N_VALUES
     sw = Stopwatch()
@@ -45,6 +50,7 @@ def run(
                     trials,
                     seed=stable_hash_seed("table1", seed, n, d),
                     n_jobs=n_jobs,
+                    engine=engine,
                 )
     return ExperimentReport(
         name="table1",
@@ -53,5 +59,10 @@ def run(
         row_keys=list(n_values),
         col_keys=list(d_values),
         col_label=lambda d: f"d = {d}",
-        meta={"trials": trials, "seed": seed, "seconds": round(sw.total, 2)},
+        meta={
+            "trials": trials,
+            "seed": seed,
+            "engine": engine,
+            "seconds": round(sw.total, 2),
+        },
     )

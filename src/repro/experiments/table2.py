@@ -25,13 +25,15 @@ def run(
     d_values=D_VALUES,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    engine: str = "auto",
     full: bool = False,
     dim: int = 2,
 ) -> ExperimentReport:
     """Regenerate Table 2 (scaled by default; ``full=True`` for paper scale).
 
     ``dim`` other than 2 exercises the paper's higher-dimension remark
-    (used by the ablation driver).
+    (used by the ablation driver).  ``engine`` is forwarded to
+    :func:`repro.stats.trials.run_cell`.
     """
     if n_values is None:
         n_values = FULL_N_VALUES if full else DEFAULT_N_VALUES
@@ -46,6 +48,7 @@ def run(
                     trials,
                     seed=stable_hash_seed("table2", seed, n, d, dim),
                     n_jobs=n_jobs,
+                    engine=engine,
                 )
     return ExperimentReport(
         name="table2",

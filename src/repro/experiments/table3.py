@@ -40,9 +40,13 @@ def run(
     d: int = 2,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    engine: str = "auto",
     full: bool = False,
 ) -> ExperimentReport:
-    """Regenerate Table 3 (scaled by default; ``full=True`` for paper scale)."""
+    """Regenerate Table 3 (scaled by default; ``full=True`` for paper scale).
+
+    ``engine`` is forwarded to :func:`repro.stats.trials.run_cell`.
+    """
     if n_values is None:
         n_values = FULL_N_VALUES if full else DEFAULT_N_VALUES
     if strategies is None:
@@ -64,6 +68,7 @@ def run(
                     trials,
                     seed=stable_hash_seed("table3", seed, n, name, d),
                     n_jobs=n_jobs,
+                    engine=engine,
                 )
     return ExperimentReport(
         name="table3",

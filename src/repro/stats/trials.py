@@ -6,6 +6,16 @@ choices.  Seeds are spawned per trial from a master
 :class:`~numpy.random.SeedSequence`, so results are identical whether
 trials run serially or across a process pool, and whether other cells
 run before or after (DESIGN.md decision 3).
+
+Engine selection: trials of one cell are statistically independent, so
+the default (``engine="auto"``) runs them through the trial-fused
+engine (:func:`repro.core.multitrial.run_fused`) whenever the work is
+serial and has at least two trials — one vectorized pass across all
+trials instead of a Python loop of per-trial runs.  ``n_jobs != 1``
+keeps the process-pool path (each worker using the per-run auto
+engine).  Every choice is bit-identical to every other: the engines
+share RNG layout and tie-break kernels, so the engine/parallelism knobs
+only move wall-clock time, never results.
 """
 
 from __future__ import annotations
@@ -16,6 +26,8 @@ from multiprocessing import get_context
 
 import numpy as np
 
+from repro.core.loads import max_load, nu_profile
+from repro.core.multitrial import fused_trial_chunk, run_fused
 from repro.core.placement import place_balls
 from repro.core.ring import RingSpace
 from repro.core.strategies import TieBreak
@@ -30,7 +42,10 @@ __all__ = [
     "run_cell",
     "run_cell_profile",
     "run_trial_map",
+    "auto_cell_engine",
 ]
+
+_CELL_ENGINES = ("auto", "fused", "sequential", "batched", "process")
 
 _SPACES = ("ring", "torus", "uniform")
 
@@ -108,7 +123,7 @@ def _build_space(spec: CellSpec, rng: np.random.Generator):
     return UniformSpace(spec.n)
 
 
-def simulate_max_load(spec: CellSpec, seed) -> int:
+def simulate_max_load(spec: CellSpec, seed, engine: str = "auto") -> int:
     """One trial: fresh server placement, fresh items, max load out."""
     rng = np.random.default_rng(seed)
     space = _build_space(spec, rng)
@@ -119,11 +134,12 @@ def simulate_max_load(spec: CellSpec, seed) -> int:
         strategy=spec.strategy,
         partitioned=spec.partitioned,
         seed=rng,
+        engine=engine,
     )
     return result.max_load
 
 
-def simulate_nu_profile(spec: CellSpec, seed) -> np.ndarray:
+def simulate_nu_profile(spec: CellSpec, seed, engine: str = "auto") -> np.ndarray:
     """One trial returning the full ν-profile (bins with load >= i).
 
     This is the object the fluid-limit ODE predicts; see
@@ -138,14 +154,76 @@ def simulate_nu_profile(spec: CellSpec, seed) -> np.ndarray:
         strategy=spec.strategy,
         partitioned=spec.partitioned,
         seed=rng,
+        engine=engine,
     )
     return result.nu_profile()
+
+
+def auto_cell_engine(n: int, trials: int, n_jobs: int | None = 1) -> str:
+    """Pick the cell-level execution strategy expected to be fastest.
+
+    ``n_jobs != 1`` keeps the process pool (workers then pick the
+    per-run engine); serial cells with at least two trials fuse — the
+    fused engine amortizes every numpy call over all trials, so it wins
+    from tiny ``n`` upward.  A single serial trial degenerates to the
+    per-run auto rule.  All outcomes are bit-identical.
+    """
+    if n_jobs != 1:
+        return "process"
+    if trials >= 2:
+        return "fused"
+    from repro.core.engine import auto_engine
+
+    return auto_engine(n)
+
+
+def _run_cell_fused(spec: CellSpec, trials: int, seed, *, profile: bool):
+    """All trials of a cell through the trial-fused engine.
+
+    Per-trial RNG consumption is identical to
+    :func:`simulate_max_load`: trial ``k``'s generator first draws the
+    server placement, then the item choices, so results are
+    bit-identical to the per-trial paths.  Trials are processed in
+    memory-bounded fusion chunks (:func:`fused_trial_chunk`), which
+    never changes results.
+    """
+    seeds = spawn_seed_sequences(seed, trials)
+    chunk = fused_trial_chunk(spec.n, spec.balls, spec.d)
+    strategy = TieBreak.coerce(spec.strategy)
+    out = []
+    for c0 in range(0, trials, chunk):
+        rngs = [np.random.default_rng(ss) for ss in seeds[c0 : c0 + chunk]]
+        spaces = [_build_space(spec, rng) for rng in rngs]
+        loads, _ = run_fused(
+            spaces,
+            spec.balls,
+            spec.d,
+            strategy,
+            rngs,
+            partitioned=spec.partitioned,
+        )
+        if profile:
+            out.extend(nu_profile(row) for row in loads)
+        else:
+            out.extend(max_load(row) for row in loads)
+    return out
+
+
+def _resolve_cell_engine(engine: str, n: int, trials: int, n_jobs: int | None) -> str:
+    if engine not in _CELL_ENGINES:
+        raise ValueError(f"engine must be one of {_CELL_ENGINES}, got {engine!r}")
+    if engine == "auto":
+        return auto_cell_engine(n, trials, n_jobs)
+    return engine
 
 
 def run_cell_profile(
     spec: CellSpec,
     trials: int,
     seed=None,
+    *,
+    n_jobs: int | None = 1,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Mean ν-profile over trials (padded to the longest observed).
 
@@ -155,10 +233,22 @@ def run_cell_profile(
     layered induction's ``nu_i / n``), which the `theory_vs_sim`
     analysis and tests compare against
     :func:`repro.theory.fluid.fluid_limit_tails`.
+
+    ``n_jobs`` and ``engine`` behave exactly as in :func:`run_cell`;
+    ν-profile sweeps parallelize or fuse the same way max-load sweeps
+    do, with identical results either way.
     """
     trials = check_positive_int(trials, "trials")
-    seeds = spawn_seed_sequences(seed, trials)
-    profiles = [simulate_nu_profile(spec, ss) for ss in seeds]
+    resolved = _resolve_cell_engine(engine, spec.n, trials, n_jobs)
+    if resolved == "fused":
+        profiles = _run_cell_fused(spec, trials, seed, profile=True)
+    elif resolved == "process":
+        profiles = run_trial_map(
+            simulate_nu_profile, spec, trials, seed, n_jobs=n_jobs
+        )
+    else:
+        seeds = spawn_seed_sequences(seed, trials)
+        profiles = [simulate_nu_profile(spec, ss, resolved) for ss in seeds]
     depth = max(p.size for p in profiles)
     acc = np.zeros(depth, dtype=np.float64)
     for p in profiles:
@@ -207,6 +297,7 @@ def run_cell(
     seed=None,
     *,
     n_jobs: int | None = 1,
+    engine: str = "auto",
 ) -> MaxLoadDistribution:
     """Run ``trials`` independent trials of a cell.
 
@@ -216,6 +307,13 @@ def run_cell(
         1 = serial (default); ``None`` = one process per CPU; k > 1 =
         that many worker processes.  Results are independent of this
         choice.
+    engine:
+        ``"auto"`` (default, see :func:`auto_cell_engine`),
+        ``"fused"`` (all trials through one trial-fused run),
+        ``"process"`` (the ``n_jobs`` worker pool), or
+        ``"sequential"``/``"batched"`` (serial loop with that per-run
+        engine — the pre-fusion behavior, kept mostly for
+        benchmarking).  Results are independent of this choice.
 
     Examples
     --------
@@ -223,5 +321,13 @@ def run_cell(
     >>> dist.trials
     8
     """
-    maxima = run_trial_map(simulate_max_load, spec, trials, seed, n_jobs=n_jobs)
+    trials = check_positive_int(trials, "trials")
+    resolved = _resolve_cell_engine(engine, spec.n, trials, n_jobs)
+    if resolved == "fused":
+        maxima = _run_cell_fused(spec, trials, seed, profile=False)
+    elif resolved == "process":
+        maxima = run_trial_map(simulate_max_load, spec, trials, seed, n_jobs=n_jobs)
+    else:
+        seeds = spawn_seed_sequences(seed, trials)
+        maxima = [simulate_max_load(spec, ss, resolved) for ss in seeds]
     return MaxLoadDistribution.from_samples(maxima, spec=spec)

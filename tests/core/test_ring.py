@@ -121,3 +121,43 @@ class TestArcQueries:
     def test_longest_arcs_rejects_excess(self, small_ring):
         with pytest.raises(ValueError, match="exceeds"):
             small_ring.longest_arcs_total(small_ring.n + 1)
+
+
+class TestBucketedAssign:
+    """The bucket-table fast path must be indistinguishable from binary
+    search — the engines' bit-identity doctrine extends to geometry."""
+
+    @given(st.integers(1024, 5000), st.integers(0, 2**16), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_searchsorted(self, n, space_seed, query_seed):
+        ring = RingSpace.random(n, seed=space_seed)
+        pts = np.random.default_rng(query_seed).random(RingSpace._LUT_MIN_QUERIES)
+        expected = np.searchsorted(ring.positions, pts, side="left") % n
+        assert np.array_equal(ring.assign(pts), expected)
+
+    def test_adversarial_boundary_points(self):
+        """Exact server positions and their float neighbors."""
+        ring = RingSpace.random(4096, seed=7)
+        pos = ring.positions
+        pts = np.concatenate([
+            pos, np.nextafter(pos, 0), np.nextafter(pos, 1),
+            np.array([0.0, np.nextafter(1.0, 0)]),
+        ])
+        expected = np.searchsorted(pos, pts, side="left") % ring.n
+        assert np.array_equal(ring.assign(pts), expected)
+
+    def test_small_queries_use_searchsorted_and_agree(self):
+        """Below the gate both paths run; they must agree anyway."""
+        ring = RingSpace.random(2048, seed=3)
+        pts = np.random.default_rng(0).random(64)
+        small = ring.assign(pts)
+        assert np.array_equal(small, ring._assign_bucketed(pts) % ring.n)
+
+    def test_table_is_lazy_and_cached(self):
+        ring = RingSpace.random(2048, seed=1)
+        assert ring._lut is None
+        ring.assign(np.random.default_rng(0).random(RingSpace._LUT_MIN_QUERIES))
+        assert ring._lut is not None
+        nbuckets, table, pos_ext = ring._lut
+        assert nbuckets == 2048 and table[0] == 0 and table[-1] == ring.n
+        assert pos_ext[-1] == np.inf

@@ -135,3 +135,61 @@ class TestRunCellProfile:
         spec = CellSpec("ring", 128, 2, m=300)
         profile = run_cell_profile(spec, trials=4, seed=4)
         assert profile[1:].sum() == pytest.approx(300)
+
+
+class TestEngineSelection:
+    """The engine knob moves wall-clock time only, never results."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            CellSpec("ring", 96, 2),
+            CellSpec("torus", 64, 3, m=150),
+            CellSpec("uniform", 64, 2),
+            CellSpec("ring", 80, 2, strategy="smaller"),
+            CellSpec("ring", 80, 2, strategy="first", partitioned=True),
+        ],
+        ids=lambda s: s.label(),
+    )
+    def test_all_engines_bit_identical(self, spec):
+        reference = run_cell(spec, trials=11, seed=7, engine="sequential")
+        for engine in ("auto", "fused", "batched"):
+            dist = run_cell(spec, trials=11, seed=7, engine=engine)
+            assert dist.counts == reference.counts, engine
+
+    def test_profile_engines_bit_identical(self):
+        from repro.stats.trials import run_cell_profile
+
+        spec = CellSpec("ring", 96, 2)
+        reference = run_cell_profile(spec, 9, seed=3, engine="sequential")
+        for engine in ("auto", "fused", "batched"):
+            assert np.array_equal(
+                run_cell_profile(spec, 9, seed=3, engine=engine), reference
+            ), engine
+
+    def test_profile_parallel_matches_serial(self):
+        from repro.stats.trials import run_cell_profile
+
+        spec = CellSpec("ring", 64, 2)
+        serial = run_cell_profile(spec, 6, seed=1)
+        pooled = run_cell_profile(spec, 6, seed=1, n_jobs=2)
+        assert np.array_equal(serial, pooled)
+
+    def test_auto_resolution(self):
+        from repro.stats.trials import auto_cell_engine
+
+        assert auto_cell_engine(1 << 16, 100, 1) == "fused"
+        assert auto_cell_engine(1 << 16, 100, 4) == "process"
+        assert auto_cell_engine(1 << 16, 100, None) == "process"
+        assert auto_cell_engine(64, 1, 1) == "sequential"
+        assert auto_cell_engine(1 << 16, 1, 1) == "batched"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_cell(CellSpec("ring", 64, 2), trials=2, engine="warp")
+
+    def test_single_trial_fused_matches(self):
+        spec = CellSpec("ring", 64, 2)
+        a = run_cell(spec, trials=1, seed=9, engine="fused")
+        b = run_cell(spec, trials=1, seed=9, engine="sequential")
+        assert a.counts == b.counts
