@@ -11,6 +11,12 @@ the reproduction).  Paper-scale sweeps are run through
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Keep benchmark runs away from the developer's sweep cache."""
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweep-cache"))
+
+
 @pytest.fixture(scope="session")
 def bench_seed():
     return 20030206

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Sweep-cache benchmark emitter: writes the tracked ``BENCH_sweeps.json``.
+
+Measures the cold-vs-warm wall clock of table reruns through the
+:mod:`repro.sweeps` layer: *cold* runs simulate every cell into a
+fresh content-addressed cache, *warm* runs replay the identical
+parameterization from disk.  The headline statistic is the warm-cache
+speedup — the ISSUE-5 acceptance bar is **>= 10x** — measured for
+
+* ``table1`` — the paper's Table 1 driver resubmitting its cells, and
+* ``sweep_grid`` — a generic ``run_sweep`` grid over (n, d).
+
+Both paths verify that warm results equal cold results exactly before
+any number is emitted, and that the warm pass was all cache hits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_sweep_benchmarks.py          # full
+    PYTHONPATH=src python benchmarks/run_sweep_benchmarks.py --fast   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro._version import __version__
+from repro.experiments.table1 import run as run_table1
+from repro.sweeps import ResultCache, SweepGrid, run_sweep
+
+FULL_TABLE1 = dict(trials=50, n_values=(1 << 12, 1 << 14))
+FAST_TABLE1 = dict(trials=10, n_values=(1 << 10, 1 << 11))
+FULL_GRID = SweepGrid(n=(1 << 12, 1 << 13), d=(1, 2, 3), trials=40, name="bench")
+FAST_GRID = SweepGrid(n=(1 << 10,), d=(1, 2), trials=10, name="bench")
+
+
+def _counts(report) -> dict:
+    return {str(k): v.counts for k, v in report.cells.items()}
+
+
+def _measure_table1(kwargs: dict, cache_root: Path) -> dict:
+    """Cold and warm table1 runs against one fresh cache."""
+    store = ResultCache(cache_root)
+    t0 = time.perf_counter()
+    cold = run_table1(cache=store, **kwargs)
+    cold_s = time.perf_counter() - t0
+    stores = store.stores
+    t0 = time.perf_counter()
+    warm = run_table1(cache=store, **kwargs)
+    warm_s = time.perf_counter() - t0
+    if _counts(warm) != _counts(cold):
+        raise AssertionError("warm table1 differs from cold — refusing to emit")
+    if store.hits != stores:
+        raise AssertionError(
+            f"warm table1 missed the cache ({store.hits}/{stores} hits)"
+        )
+    return {
+        "name": "table1",
+        "cells": len(cold.cells),
+        "trials": kwargs["trials"],
+        "n_values": list(kwargs["n_values"]),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "speedup_warm_over_cold": round(cold_s / warm_s, 1),
+    }
+
+
+def _measure_grid(grid: SweepGrid, cache_root: Path) -> dict:
+    """Cold and warm ``run_sweep`` of one grid against one fresh cache."""
+    store = ResultCache(cache_root)
+    t0 = time.perf_counter()
+    cold = run_sweep(grid, cache=store)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run_sweep(grid, cache=store)
+    warm_s = time.perf_counter() - t0
+    if warm.to_json() != cold.to_json():
+        raise AssertionError("warm sweep differs from cold — refusing to emit")
+    if warm.meta["misses"]:
+        raise AssertionError(f"warm sweep recomputed {warm.meta['misses']} cells")
+    return {
+        "name": "sweep_grid",
+        "cells": len(grid),
+        "trials": grid.trials,
+        "n_values": list(grid.n),
+        "d_values": list(grid.d),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "speedup_warm_over_cold": round(cold_s / warm_s, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="small sizes (CI smoke mode)")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_sweeps.json",
+                        help="output path (default: repo-root BENCH_sweeps.json)")
+    args = parser.parse_args(argv)
+
+    table1_kwargs = FAST_TABLE1 if args.fast else FULL_TABLE1
+    grid = FAST_GRID if args.fast else FULL_GRID
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-sweep-bench-"))
+    try:
+        results = [
+            _measure_table1(table1_kwargs, workdir / "table1"),
+            _measure_grid(grid, workdir / "grid"),
+        ]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    for cell in results:
+        print(
+            f"{cell['name']}: cold {cell['cold_seconds']}s, "
+            f"warm {cell['warm_seconds']}s "
+            f"(speedup {cell['speedup_warm_over_cold']}x, "
+            f"{cell['cells']} cells x {cell['trials']} trials)"
+        )
+
+    payload = {
+        "benchmark": "sweep_cache",
+        "version": __version__,
+        "mode": "fast" if args.fast else "full",
+        "unix_time": int(time.time()),
+        "cells": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

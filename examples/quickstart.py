@@ -1,10 +1,16 @@
 #!/usr/bin/env python
-"""Quickstart: the power of two choices on geometric spaces.
+"""Quickstart: the power of two choices on geometric spaces, cached.
 
-Runs the paper's core experiment at a small size: place n items on n
-servers arranged on a ring (consistent hashing) and on a 2-D torus, and
-watch the maximum load collapse from Theta(log n) to log log n / log d
-as soon as each item gets a second choice.
+Runs the paper's core experiment as a small sweep grid: place n items
+on n servers arranged on a ring (consistent hashing), a 2-D torus, and
+uniform bins, at d in {1, 2, 3, 4} choices, several trials per cell —
+and watch the maximum load collapse from Theta(log n) to
+log log n / log d as soon as each item gets a second choice.
+
+The grid goes through ``repro.sweeps``: the first run simulates every
+cell, a re-run replays from the content-addressed result cache in
+milliseconds (delete the cache dir, or set ``REPRO_SWEEP_CACHE=off``,
+to recompute).  See docs/sweeps.md for the full guide.
 
 Usage::
 
@@ -12,31 +18,45 @@ Usage::
 """
 
 import sys
+import time
 
-from repro import RingSpace, TorusSpace, place_balls
-from repro.baselines.uniform import UniformSpace
+from repro.sweeps import SweepGrid, run_sweep
 from repro.theory.fluid import fluid_predicted_max_load
 from repro.theory.recursion import theorem1_leading_term
 
+D_VALUES = (1, 2, 3, 4)
+
 
 def main() -> None:
-    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 14
-    print(f"n = {n} servers, m = {n} items\n")
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 12
+    trials = 10
+    grid = SweepGrid(
+        space=("ring", "torus", "uniform"),
+        n=n,
+        d=D_VALUES,
+        trials=trials,
+        name="quickstart",
+    )
+    print(f"n = {n} servers, m = {n} items, {trials} trials per cell\n")
 
-    spaces = {
-        "ring (random arcs)": RingSpace.random(n, seed=1),
-        "torus (Voronoi cells)": TorusSpace.random(n, seed=2),
-        "uniform bins (ABKU)": UniformSpace(n),
-    }
+    start = time.perf_counter()
+    result = run_sweep(grid)
+    elapsed = time.perf_counter() - start
+    hits, misses = result.meta["hits"], result.meta["misses"]
 
-    header = f"{'space':<24}" + "".join(f"d={d:<6}" for d in (1, 2, 3, 4))
+    cells = result.by_axes(row="space", col="d")
+    header = f"{'space':<24}" + "".join(f"d={d:<6}" for d in D_VALUES)
     print(header)
     print("-" * len(header))
-    for name, space in spaces.items():
-        row = f"{name:<24}"
-        for d in (1, 2, 3, 4):
-            res = place_balls(space, n, d, seed=100 + d)
-            row += f"{res.max_load:<8}"
+    labels = {
+        "ring": "ring (random arcs)",
+        "torus": "torus (Voronoi cells)",
+        "uniform": "uniform bins (ABKU)",
+    }
+    for space in grid.space:
+        row = f"{labels[space]:<24}"
+        for d in D_VALUES:
+            row += f"{cells[(space, d)].mode:<8}"
         print(row)
 
     print()
@@ -47,7 +67,11 @@ def main() -> None:
             f"fluid-limit prediction = {fluid_predicted_max_load(n, d)}"
         )
     print(
-        "\nReading: the d=1 column grows with n (rerun with a larger n!) "
+        f"\n[{elapsed:.2f}s: {misses} cells simulated, {hits} served from "
+        "the result cache — run me again]"
+    )
+    print(
+        "Reading: the d=1 column grows with n (rerun with a larger n!) "
         "while d>=2 stays flat -- Theorem 1's geometric power of two "
         "choices."
     )

@@ -5,6 +5,12 @@ defaults that finish on a laptop; paper-scale parameters are plain
 keyword arguments away.  ``python -m repro.experiments <name>`` runs a
 driver from the command line; the registry maps experiment ids (see
 DESIGN.md section 3) to drivers.
+
+All drivers submit their simulation cells through the
+:mod:`repro.sweeps` orchestration layer, so repeated runs with
+identical parameters replay from the content-addressed result cache
+instead of recomputing; ``python -m repro.experiments sweep ...``
+exposes arbitrary sharded grids (see ``docs/sweeps.md``).
 """
 
 from repro.experiments.report import ExperimentReport

@@ -2,18 +2,23 @@
 
 Examples
 --------
-Run the scaled Table 1 and print it in the paper's format::
+Run the scaled Table 1 and print it in the paper's format (re-runs are
+served from the sweep-layer result cache)::
 
     python -m repro.experiments table1
 
-Paper-scale Table 3 over all cores::
+Paper-scale Table 3 over all cores, bypassing the cache::
 
-    python -m repro.experiments table3 --full --trials 1000 --jobs 0
+    python -m repro.experiments table3 --full --trials 1000 --jobs 0 --no-cache
 
 Peak max load along dynamic insert/delete/churn trajectories
 (steady-state, Poisson, adversarial bursts, churn storms)::
 
     python -m repro.experiments dynamic_churn
+
+Sharded, cached parameter sweeps (see ``docs/sweeps.md``)::
+
+    python -m repro.experiments sweep run n=256,4096 d=1,2 --trials 50
 
 List everything::
 
@@ -31,11 +36,20 @@ __all__ = ["main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (excluding the ``sweep`` subcommand).
+
+    Returns
+    -------
+    argparse.ArgumentParser
+        Parser for ``<name> [--trials N] [--full] [--jobs K] [--seed S]
+        [--cache DIR | --no-cache] [--out DIR]``.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
             "Regenerate the paper's tables and validations, plus the "
-            "dynamic_churn trajectory experiment."
+            "dynamic_churn trajectory experiment and cached parameter "
+            "sweeps (see the 'sweep' subcommand)."
         ),
     )
     parser.add_argument("name", nargs="?", help="experiment id (see --list)")
@@ -54,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed")
     parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (default: REPRO_SWEEP_CACHE or the "
+        "XDG user cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (force recomputation)",
+    )
+    parser.add_argument(
         "--out",
         default="results",
         help="output directory for the 'all' pseudo-experiment",
@@ -62,13 +88,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    """Run the CLI; returns a process exit code (0 ok, 2 usage error).
+
+    Parameters
+    ----------
+    argv:
+        Argument list (defaults to ``sys.argv[1:]``).  A leading
+        ``sweep`` token delegates everything after it to the sweep
+        subcommand (:func:`repro.sweeps.cli.main`).
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        from repro.sweeps.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.name:
         print("available experiments:")
         for name in list_experiments():
             print(f"  {name}")
         print("  all            (run everything, writing files to --out)")
+        print("  sweep          (cached parameter sweeps; sweep --help)")
         return 0
+    cache = "off" if args.no_cache else (args.cache or "auto")
     if args.name == "all":
         from repro.experiments.run_all import run_all
 
@@ -77,6 +120,7 @@ def main(argv=None) -> int:
             trials=args.trials,
             seed=args.seed,
             n_jobs=None if args.jobs == 0 else args.jobs,
+            cache=cache,
         )
         return 0
     try:
@@ -84,7 +128,7 @@ def main(argv=None) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    kwargs = {}
+    kwargs: dict = {"cache": cache}
     if args.trials is not None:
         kwargs["trials"] = args.trials
     if args.seed is not None:
@@ -93,8 +137,10 @@ def main(argv=None) -> int:
         kwargs["full"] = True
     if args.jobs != 1:
         kwargs["n_jobs"] = None if args.jobs == 0 else args.jobs
+    from repro.experiments.run_all import call_driver
+
     try:
-        report = driver(**kwargs)
+        report = call_driver(driver, kwargs)
     except TypeError as exc:
         # driver without e.g. `full` support: report cleanly
         print(f"argument error for {args.name}: {exc}", file=sys.stderr)

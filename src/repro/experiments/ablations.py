@@ -1,6 +1,6 @@
 """Ablations for the paper's remarks and design choices.
 
-Three sweeps the paper discusses but does not tabulate:
+Five sweeps the paper discusses but does not tabulate:
 
 * ``tiebreak_sweep`` — Table 3's strategies at d in {2, 3}: does the
   smaller-arc advantage persist with more choices?
@@ -8,13 +8,23 @@ Three sweeps the paper discusses but does not tabulate:
   ``O(m/n) + O(log log n)``, i.e. linear in m/n with a tiny intercept.
 * ``dimension_sweep`` — the higher-dimension remark: tori of dimension
   1-3 behave alike under d = 2.
+* ``geometry_sweep`` — bin geometries head-to-head (uniform, ring,
+  torus, CAN dyadic zones) probing the conclusion's non-uniformity
+  question.
+* ``staleness_sweep`` — parallel arrivals in rounds: how stale may
+  load information get before two choices stop helping?
+
+Every sweep submits its cells through :mod:`repro.sweeps`, so re-runs
+with unchanged parameters are served from the result cache (pass
+``cache="off"`` to force recomputation).
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
 from repro.experiments.table3 import STRATEGIES
-from repro.stats.trials import CellSpec, run_cell
+from repro.stats.trials import CellSpec
+from repro.sweeps.runner import fetch_or_compute, resolve_cache, submit_cell
 from repro.utils.rng import stable_hash_seed
 
 __all__ = [
@@ -34,6 +44,7 @@ def staleness_sweep(
     trials: int = 30,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    cache="auto",
 ) -> ExperimentReport:
     """Parallel-arrival ablation: max load vs round size (stale loads).
 
@@ -50,22 +61,33 @@ def staleness_sweep(
     from repro.stats.distributions import MaxLoadDistribution
     from repro.utils.rng import spawn_seed_sequences
 
+    store = resolve_cache(cache)
     cells = {}
     resolved = [n if b is None else int(b) for b in round_sizes]
     for b in resolved:
         for d in d_values:
-            seeds = spawn_seed_sequences(
-                stable_hash_seed("abl-stale", seed, n, b, d), trials
-            )
-            maxima = []
-            for ss in seeds:
-                rng = np.random.default_rng(ss)
-                space = RingSpace.random(n, seed=rng)
-                loads = place_balls_in_rounds(
-                    space, n, d, round_size=b, seed=rng
-                )
-                maxima.append(int(loads.max()))
-            cells[(b, d)] = MaxLoadDistribution.from_samples(maxima)
+            cell_seed = stable_hash_seed("abl-stale", seed, n, b, d)
+
+            def compute(b=b, d=d, cell_seed=cell_seed) -> MaxLoadDistribution:
+                maxima = []
+                for ss in spawn_seed_sequences(cell_seed, trials):
+                    rng = np.random.default_rng(ss)
+                    space = RingSpace.random(n, seed=rng)
+                    loads = place_balls_in_rounds(
+                        space, n, d, round_size=b, seed=rng
+                    )
+                    maxima.append(int(loads.max()))
+                return MaxLoadDistribution.from_samples(maxima)
+
+            spec_dict = {
+                "kind": "ablation_staleness",
+                "n": n,
+                "round_size": b,
+                "d": d,
+                "trials": trials,
+                "seed": cell_seed,
+            }
+            cells[(b, d)] = fetch_or_compute(spec_dict, compute, cache=store)
     return ExperimentReport(
         name="ablation_staleness",
         title=f"Ablation: parallel-arrival round size (ring, n = m = {n})",
@@ -85,6 +107,7 @@ def geometry_sweep(
     trials: int = 50,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    cache="auto",
 ) -> ExperimentReport:
     """Bin geometries head-to-head: uniform vs ring vs torus vs CAN.
 
@@ -112,18 +135,29 @@ def geometry_sweep(
         "torus": lambda rng: TorusSpace.random(n, seed=rng),
         "can": lambda rng: CanSpace.random(n, seed=rng),
     }
+    store = resolve_cache(cache)
     cells = {}
     for kind, build in builders.items():
         for d in d_values:
-            seeds = spawn_seed_sequences(
-                stable_hash_seed("abl-geom", seed, n, kind, d), trials
-            )
-            maxima = []
-            for ss in seeds:
-                rng = np.random.default_rng(ss)
-                space = build(rng)
-                maxima.append(place_balls(space, n, d, seed=rng).max_load)
-            cells[(kind, d)] = MaxLoadDistribution.from_samples(maxima)
+            cell_seed = stable_hash_seed("abl-geom", seed, n, kind, d)
+
+            def compute(build=build, d=d, cell_seed=cell_seed) -> MaxLoadDistribution:
+                maxima = []
+                for ss in spawn_seed_sequences(cell_seed, trials):
+                    rng = np.random.default_rng(ss)
+                    space = build(rng)
+                    maxima.append(place_balls(space, n, d, seed=rng).max_load)
+                return MaxLoadDistribution.from_samples(maxima)
+
+            spec_dict = {
+                "kind": "ablation_geometry",
+                "n": n,
+                "geometry": kind,
+                "d": d,
+                "trials": trials,
+                "seed": cell_seed,
+            }
+            cells[(kind, d)] = fetch_or_compute(spec_dict, compute, cache=store)
     return ExperimentReport(
         name="ablation_geometry",
         title=f"Ablation: bin geometry x d (n = m = {n})",
@@ -144,18 +178,21 @@ def tiebreak_sweep(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    cache="auto",
 ) -> ExperimentReport:
     """Strategies x d grid at fixed n."""
+    store = resolve_cache(cache)
     cells = {}
     for d in d_values:
         for name, (tiebreak, partitioned) in STRATEGIES.items():
             spec = CellSpec("ring", n, d, strategy=tiebreak, partitioned=partitioned)
-            cells[(d, name)] = run_cell(
+            cells[(d, name)] = submit_cell(
                 spec,
                 trials,
                 seed=stable_hash_seed("abl-tie", seed, n, d, name),
                 n_jobs=n_jobs,
                 engine=engine,
+                cache=store,
             )
     return ExperimentReport(
         name="ablation_tiebreak",
@@ -178,18 +215,21 @@ def mn_sweep(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    cache="auto",
 ) -> ExperimentReport:
     """Max load vs m/n (the heavily loaded remark)."""
+    store = resolve_cache(cache)
     cells = {}
     for r in ratios:
         for d in d_values:
             spec = CellSpec("ring", n, d, m=r * n)
-            cells[(r, d)] = run_cell(
+            cells[(r, d)] = submit_cell(
                 spec,
                 trials,
                 seed=stable_hash_seed("abl-mn", seed, n, r, d),
                 n_jobs=n_jobs,
                 engine=engine,
+                cache=store,
             )
     return ExperimentReport(
         name="ablation_mn",
@@ -212,18 +252,21 @@ def dimension_sweep(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    cache="auto",
 ) -> ExperimentReport:
     """Torus dimension sweep (the higher-dimension remark)."""
+    store = resolve_cache(cache)
     cells = {}
     for dim in dims:
         for d in d_values:
             spec = CellSpec("torus", n, d, dim=dim)
-            cells[(dim, d)] = run_cell(
+            cells[(dim, d)] = submit_cell(
                 spec,
                 trials,
                 seed=stable_hash_seed("abl-dim", seed, n, dim, d),
                 n_jobs=n_jobs,
                 engine=engine,
+                cache=store,
             )
     return ExperimentReport(
         name="ablation_dim",

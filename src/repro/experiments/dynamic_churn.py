@@ -33,6 +33,7 @@ from repro.dynamics.events import (
 from repro.experiments.report import ExperimentReport
 from repro.stats.distributions import MaxLoadDistribution
 from repro.stats.trials import run_trial_map
+from repro.sweeps.runner import fetch_or_compute, resolve_cache
 from repro.utils.rng import stable_hash_seed
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import check_positive_int
@@ -82,6 +83,7 @@ def _peak_max_load(context: tuple[str, int, int], seed) -> int:
 def _run_scenario_cell(
     scenario: str, n: int, d: int, trials: int, seed, n_jobs: int | None
 ) -> MaxLoadDistribution:
+    """Distribution of per-trial trajectory peaks for one (scenario, n, d)."""
     peaks = run_trial_map(_peak_max_load, (scenario, n, d), trials, seed, n_jobs=n_jobs)
     return MaxLoadDistribution.from_samples(peaks)
 
@@ -94,9 +96,16 @@ def run(
     d: int = 2,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    cache="auto",
     full: bool = False,
 ) -> ExperimentReport:
-    """Peak max load along dynamic trajectories (``full=True`` scales n up)."""
+    """Peak max load along dynamic trajectories (``full=True`` scales n up).
+
+    Cells are cached through the sweep layer under a
+    ``dynamic_churn``-kind spec (``cache`` as in
+    :func:`repro.sweeps.runner.resolve_cache`), so repeated runs with
+    identical parameters replay from disk.
+    """
     trials = check_positive_int(trials, "trials")
     if n_values is None:
         n_values = FULL_N_VALUES if full else DEFAULT_N_VALUES
@@ -105,14 +114,27 @@ def run(
     unknown = set(scenarios) - set(SCENARIOS)
     if unknown:
         raise ValueError(f"unknown scenarios {sorted(unknown)}")
+    store = resolve_cache(cache)
     sw = Stopwatch()
     cells = {}
     for n in n_values:
         for scenario in scenarios:
             cell_seed = stable_hash_seed("dynamic_churn", seed, n, scenario, d)
+            spec_dict = {
+                "kind": "dynamic_churn",
+                "scenario": scenario,
+                "n": n,
+                "d": d,
+                "trials": trials,
+                "seed": cell_seed,
+            }
             with sw.lap(f"n={n} {scenario}"):
-                cells[(n, scenario)] = _run_scenario_cell(
-                    scenario, n, d, trials, cell_seed, n_jobs
+                cells[(n, scenario)] = fetch_or_compute(
+                    spec_dict,
+                    lambda scenario=scenario, n=n, cell_seed=cell_seed: (
+                        _run_scenario_cell(scenario, n, d, trials, cell_seed, n_jobs)
+                    ),
+                    cache=store,
                 )
     return ExperimentReport(
         name="dynamic_churn",

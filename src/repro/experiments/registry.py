@@ -1,4 +1,19 @@
-"""Registry mapping experiment ids (DESIGN.md section 3) to drivers."""
+"""Registry mapping experiment ids (DESIGN.md section 3) to drivers.
+
+The single source of truth for which experiments exist: the CLI
+(:mod:`repro.experiments.__main__`), the run-everything harness
+(:mod:`repro.experiments.run_all`), and the tests all resolve drivers
+through :func:`get_experiment`.  A *driver* is a keyword-only callable
+returning a report object with a ``render()`` method
+(:class:`~repro.experiments.report.ExperimentReport` or
+:class:`~repro.experiments.report.TextReport`).
+
+Drivers are imported lazily inside :func:`_load` so that importing
+:mod:`repro.experiments` stays cheap and cycle-free.  Every
+table/ablation driver here submits its cells through the
+:mod:`repro.sweeps` result cache, so repeated invocations with
+identical parameters are incremental.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +23,7 @@ __all__ = ["get_experiment", "list_experiments"]
 
 
 def _load() -> dict[str, Callable]:
+    """Import all driver modules and return the id -> driver mapping."""
     from repro.experiments import (
         ablations,
         dynamic_churn,
@@ -34,12 +50,30 @@ def _load() -> dict[str, Callable]:
 
 
 def list_experiments() -> list[str]:
-    """All registered experiment ids."""
+    """All registered experiment ids, sorted alphabetically.
+
+    Returns
+    -------
+    list of str
+        Ids accepted by :func:`get_experiment` and by
+        ``python -m repro.experiments <id>``.
+    """
     return sorted(_load())
 
 
 def get_experiment(name: str) -> Callable:
     """Driver callable for an experiment id.
+
+    Parameters
+    ----------
+    name:
+        One of the ids returned by :func:`list_experiments`.
+
+    Returns
+    -------
+    Callable
+        The driver; call it with keyword arguments (``trials=``,
+        ``seed=``, ``cache=``, ...) to produce a report.
 
     Raises
     ------

@@ -1,22 +1,32 @@
 """Run every experiment and write one report file per driver.
 
-This is the EXPERIMENTS.md regeneration path:
+This is the EXPERIMENTS.md regeneration path::
 
     python -m repro.experiments all --out results/
 
-Scaled defaults mirror the recorded runs; pass ``--trials``/``--full``
-to push toward paper scale.
+The plan (:data:`DEFAULT_PLAN`) maps run names to ``(driver id,
+kwargs)`` pairs; some drivers appear twice at different scales
+(``table1`` / ``table1_large``).  Scaled defaults mirror the recorded
+runs; pass ``--trials``/``--full`` to push toward paper scale.
+
+Since the sweep-layer rewiring (:mod:`repro.sweeps`), every driver
+submits its cells through the content-addressed result cache, so
+re-running the full plan after an interruption — or after editing one
+driver — only recomputes the cells that changed.  Control the cache
+with the ``cache`` argument here, the ``--cache``/``--no-cache`` CLI
+flags, or the ``REPRO_SWEEP_CACHE`` environment variable.
 """
 
 from __future__ import annotations
 
+import inspect
 import os
 import time
 from typing import Callable
 
 from repro.experiments.registry import get_experiment
 
-__all__ = ["DEFAULT_PLAN", "run_all"]
+__all__ = ["DEFAULT_PLAN", "call_driver", "run_all"]
 
 #: name -> (driver id, default kwargs).  Entries with a distinct name
 #: reuse a driver at a second scale.
@@ -36,6 +46,45 @@ DEFAULT_PLAN: dict[str, tuple[str, dict]] = {
     "dynamic_churn": ("dynamic_churn", dict(trials=25)),
 }
 
+#: kwargs silently dropped when a driver's signature does not accept
+#: them — text-report drivers without ``n_jobs``/``cache``.
+_OPTIONAL_KWARGS = ("cache", "n_jobs")
+
+
+def call_driver(driver: Callable, kwargs: dict):
+    """Invoke ``driver(**kwargs)``, dropping unsupported optional kwargs.
+
+    Not every driver takes ``n_jobs`` or ``cache`` (the text-report
+    drivers predate both); optional keys absent from the driver's
+    signature are removed before the single call.  Signature
+    inspection — rather than retry-on-``TypeError`` — means a
+    ``TypeError`` raised *inside* the driver propagates instead of
+    silently re-executing it with the caller's settings stripped.
+
+    Parameters
+    ----------
+    driver:
+        An experiment driver from the registry.
+    kwargs:
+        Keyword arguments to forward (not mutated).
+
+    Returns
+    -------
+    The driver's report object.
+    """
+    call_kwargs = dict(kwargs)
+    try:
+        params = inspect.signature(driver).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        params = None
+    if params is not None and not any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        for key in _OPTIONAL_KWARGS:
+            if key in call_kwargs and key not in params:
+                call_kwargs.pop(key)
+    return driver(**call_kwargs)
+
 
 def run_all(
     out_dir: str,
@@ -43,19 +92,39 @@ def run_all(
     trials: int | None = None,
     n_jobs: int | None = 1,
     seed: int | None = None,
+    cache="auto",
     plan: dict[str, tuple[str, dict]] | None = None,
     progress: Callable[[str], None] = print,
 ) -> dict[str, str]:
-    """Execute the plan; returns ``{run name: output path}``.
+    """Execute the plan and write one rendered report per entry.
 
-    ``trials``/``seed``/``n_jobs`` override every plan entry when given.
+    Parameters
+    ----------
+    out_dir:
+        Directory for the ``<name>.txt`` report files (created if
+        missing).
+    trials, seed, n_jobs:
+        When given, override every plan entry's own values.
+    cache:
+        Result-cache selector forwarded to every driver that accepts
+        it (see :func:`repro.sweeps.runner.resolve_cache`); the
+        default follows the environment, making re-runs incremental.
+    plan:
+        Alternative plan mapping (defaults to :data:`DEFAULT_PLAN`).
+    progress:
+        Callable receiving one status line per finished run.
+
+    Returns
+    -------
+    dict
+        ``{run name: written file path}`` in plan order.
     """
     os.makedirs(out_dir, exist_ok=True)
     plan = DEFAULT_PLAN if plan is None else plan
     written: dict[str, str] = {}
     for name, (driver_id, kwargs) in plan.items():
         driver = get_experiment(driver_id)
-        call_kwargs = dict(kwargs)
+        call_kwargs = dict(kwargs, cache=cache)
         if trials is not None:
             call_kwargs["trials"] = trials
         if seed is not None:
@@ -63,12 +132,7 @@ def run_all(
         if n_jobs != 1:
             call_kwargs["n_jobs"] = n_jobs
         start = time.time()
-        try:
-            report = driver(**call_kwargs)
-        except TypeError:
-            # driver without n_jobs (text reports): retry without it
-            call_kwargs.pop("n_jobs", None)
-            report = driver(**call_kwargs)
+        report = call_driver(driver, call_kwargs)
         elapsed = time.time() - start
         path = os.path.join(out_dir, f"{name}.txt")
         with open(path, "w") as fh:

@@ -11,7 +11,8 @@ these sizes), and the full sweep is ``run(full=True, trials=1000)``.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.stats.trials import CellSpec, run_cell
+from repro.stats.trials import CellSpec
+from repro.sweeps.runner import resolve_cache, submit_cell
 from repro.utils.rng import stable_hash_seed
 from repro.utils.timing import Stopwatch
 
@@ -30,27 +31,33 @@ def run(
     seed: int = 20030206,  # the TR's publication date
     n_jobs: int | None = 1,
     engine: str = "auto",
+    cache="auto",
     full: bool = False,
 ) -> ExperimentReport:
     """Regenerate Table 1 (scaled by default; ``full=True`` for paper scale).
 
     ``engine`` is forwarded to :func:`repro.stats.trials.run_cell`;
     the default auto-selects the trial-fused engine for serial runs.
+    Cells run through the sweep layer's result cache (``cache`` as in
+    :func:`repro.sweeps.runner.resolve_cache`), so an identical re-run
+    is served from disk; pass ``cache="off"`` to force recomputation.
     """
     if n_values is None:
         n_values = FULL_N_VALUES if full else DEFAULT_N_VALUES
+    store = resolve_cache(cache)
     sw = Stopwatch()
     cells = {}
     for n in n_values:
         for d in d_values:
             spec = CellSpec("ring", n, d)
             with sw.lap(f"n={n} d={d}"):
-                cells[(n, d)] = run_cell(
+                cells[(n, d)] = submit_cell(
                     spec,
                     trials,
                     seed=stable_hash_seed("table1", seed, n, d),
                     n_jobs=n_jobs,
                     engine=engine,
+                    cache=store,
                 )
     return ExperimentReport(
         name="table1",

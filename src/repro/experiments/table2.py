@@ -7,7 +7,8 @@ are their Voronoi cells; the paper sweeps ``n`` up to ``2^20``.
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.stats.trials import CellSpec, run_cell
+from repro.stats.trials import CellSpec
+from repro.sweeps.runner import resolve_cache, submit_cell
 from repro.utils.rng import stable_hash_seed
 from repro.utils.timing import Stopwatch
 
@@ -26,6 +27,7 @@ def run(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    cache="auto",
     full: bool = False,
     dim: int = 2,
 ) -> ExperimentReport:
@@ -33,22 +35,26 @@ def run(
 
     ``dim`` other than 2 exercises the paper's higher-dimension remark
     (used by the ablation driver).  ``engine`` is forwarded to
-    :func:`repro.stats.trials.run_cell`.
+    :func:`repro.stats.trials.run_cell`; cells are cached through the
+    sweep layer (``cache`` as in
+    :func:`repro.sweeps.runner.resolve_cache`).
     """
     if n_values is None:
         n_values = FULL_N_VALUES if full else DEFAULT_N_VALUES
+    store = resolve_cache(cache)
     sw = Stopwatch()
     cells = {}
     for n in n_values:
         for d in d_values:
             spec = CellSpec("torus", n, d, dim=dim)
             with sw.lap(f"n={n} d={d}"):
-                cells[(n, d)] = run_cell(
+                cells[(n, d)] = submit_cell(
                     spec,
                     trials,
                     seed=stable_hash_seed("table2", seed, n, d, dim),
                     n_jobs=n_jobs,
                     engine=engine,
+                    cache=store,
                 )
     return ExperimentReport(
         name="table2",

@@ -14,7 +14,8 @@ The four columns (DESIGN.md records the interpretation):
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentReport
-from repro.stats.trials import CellSpec, run_cell
+from repro.stats.trials import CellSpec
+from repro.sweeps.runner import resolve_cache, submit_cell
 from repro.utils.rng import stable_hash_seed
 from repro.utils.timing import Stopwatch
 
@@ -41,11 +42,14 @@ def run(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    cache="auto",
     full: bool = False,
 ) -> ExperimentReport:
     """Regenerate Table 3 (scaled by default; ``full=True`` for paper scale).
 
-    ``engine`` is forwarded to :func:`repro.stats.trials.run_cell`.
+    ``engine`` is forwarded to :func:`repro.stats.trials.run_cell`;
+    cells are cached through the sweep layer (``cache`` as in
+    :func:`repro.sweeps.runner.resolve_cache`).
     """
     if n_values is None:
         n_values = FULL_N_VALUES if full else DEFAULT_N_VALUES
@@ -54,6 +58,7 @@ def run(
     unknown = set(strategies) - set(STRATEGIES)
     if unknown:
         raise ValueError(f"unknown strategies {sorted(unknown)}")
+    store = resolve_cache(cache)
     sw = Stopwatch()
     cells = {}
     for n in n_values:
@@ -63,12 +68,13 @@ def run(
                 "ring", n, d, strategy=tiebreak, partitioned=partitioned
             )
             with sw.lap(f"n={n} {name}"):
-                cells[(n, name)] = run_cell(
+                cells[(n, name)] = submit_cell(
                     spec,
                     trials,
                     seed=stable_hash_seed("table3", seed, n, name, d),
                     n_jobs=n_jobs,
                     engine=engine,
+                    cache=store,
                 )
     return ExperimentReport(
         name="table3",

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from repro.baselines.vocking import vocking_bound
 from repro.experiments.report import TextReport
-from repro.stats.trials import CellSpec, run_cell, run_cell_profile
+from repro.stats.trials import CellSpec
+from repro.sweeps.runner import resolve_cache, submit_cell, submit_profile
 from repro.theory.fluid import fluid_limit_tails, fluid_predicted_max_load
 from repro.theory.recursion import (
     practical_predicted_max_load,
@@ -26,7 +27,7 @@ from repro.utils.rng import stable_hash_seed
 __all__ = ["run"]
 
 
-def _profile_section(n: int, d: int, trials: int, seed) -> list[str]:
+def _profile_section(n: int, d: int, trials: int, seed, store=None) -> list[str]:
     """Compare empirical tail fractions s_i = nu_i / n with the ODE.
 
     This is the paper-conclusion question made quantitative: the fluid
@@ -48,10 +49,11 @@ def _profile_section(n: int, d: int, trials: int, seed) -> list[str]:
     ]
     profiles = {}
     for kind in ("uniform", "ring", "torus"):
-        profiles[kind] = run_cell_profile(
+        profiles[kind] = submit_profile(
             CellSpec(kind, n, d),
             trials,
             seed=stable_hash_seed("tc-prof", seed, kind, n, d),
+            cache=store,
         )
     depth = min(6, max(p.size for p in profiles.values()))
 
@@ -75,8 +77,15 @@ def run(
     trials: int = 50,
     seed: int = 20030206,
     n_jobs: int | None = 1,
+    cache="auto",
 ) -> TextReport:
-    """Tabulate predictions next to simulated modes."""
+    """Tabulate predictions next to simulated modes.
+
+    Simulation cells (including the ν-profiles, cached as NPZ arrays)
+    go through the sweep layer's result cache; ``cache`` as in
+    :func:`repro.sweeps.runner.resolve_cache`.
+    """
+    store = resolve_cache(cache)
     lines = [
         f"{'n':>8} {'d':>2} | {'ring':>5} {'torus':>5} {'unif':>5} | "
         f"{'fluid':>5} {'llog':>5} {'layer':>5} {'vock':>5}"
@@ -84,23 +93,26 @@ def run(
     data = {}
     for n in n_values:
         for d in d_values:
-            ring = run_cell(
+            ring = submit_cell(
                 CellSpec("ring", n, d),
                 trials,
                 seed=stable_hash_seed("tc-ring", seed, n, d),
                 n_jobs=n_jobs,
+                cache=store,
             )
-            torus = run_cell(
+            torus = submit_cell(
                 CellSpec("torus", n, d),
                 trials,
                 seed=stable_hash_seed("tc-torus", seed, n, d),
                 n_jobs=n_jobs,
+                cache=store,
             )
-            unif = run_cell(
+            unif = submit_cell(
                 CellSpec("uniform", n, d),
                 trials,
                 seed=stable_hash_seed("tc-unif", seed, n, d),
                 n_jobs=n_jobs,
+                cache=store,
             )
             fluid = fluid_predicted_max_load(n, d)
             llog = theorem1_leading_term(n, d)
@@ -129,7 +141,7 @@ def run(
     )
     profile_n = max(n_values)
     lines.extend(
-        _profile_section(profile_n, 2, max(4, trials // 4), seed)
+        _profile_section(profile_n, 2, max(4, trials // 4), seed, store=store)
     )
     lines.append(
         "reading: the classical ODE is exact for uniform bins; the "

@@ -55,6 +55,27 @@ class MaxLoadDistribution:
         data = Counter(int(x) for x in maxima)
         return cls(counts=dict(sorted(data.items())), spec=spec)
 
+    @classmethod
+    def from_json_counts(cls, counts: Mapping, spec=None) -> "MaxLoadDistribution":
+        """Build from a JSON count mapping (string keys), sorted by load.
+
+        Inverse of :meth:`to_json_counts`; the deserialization half of
+        the sweep cache's on-disk payload format.
+        """
+        return cls(
+            counts=dict(sorted((int(k), int(v)) for k, v in counts.items())),
+            spec=spec,
+        )
+
+    def to_json_counts(self) -> dict[str, int]:
+        """JSON-safe count mapping (string keys), sorted by load.
+
+        The canonical wire/disk form used by the sweep cache and
+        ``SweepResult`` artifacts; round-trips exactly through
+        :meth:`from_json_counts`.
+        """
+        return {str(k): int(v) for k, v in sorted(self.counts.items())}
+
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------

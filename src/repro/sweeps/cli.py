@@ -1,0 +1,170 @@
+"""The ``sweep`` subcommand of ``python -m repro.experiments``.
+
+Three verbs::
+
+    # execute (a shard of) a grid, reading/writing the result cache
+    python -m repro.experiments sweep run n=256,4096 d=1,2 \\
+        --trials 50 --shard-index 0 --shard-count 2 --out shard0.json
+
+    # merge shard artifacts into the canonical unsharded artifact
+    python -m repro.experiments sweep merge shard0.json shard1.json \\
+        --out merged.json
+
+    # render a saved artifact as a paper-style table
+    python -m repro.experiments sweep show merged.json
+
+Axis tokens are ``axis=v1,v2,...`` over the cell axes
+(``space``, ``n``, ``d``, ``m``, ``strategy``, ``partitioned``,
+``dim``); see :func:`repro.sweeps.grid.parse_axis_args`.  ``--cache``
+points at an explicit cache directory, ``--no-cache`` disables
+caching; the default follows ``REPRO_SWEEP_CACHE`` (see
+:func:`repro.sweeps.runner.resolve_cache`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sweeps.grid import SweepGrid, parse_axis_args
+from repro.sweeps.result import SweepResult
+from repro.sweeps.runner import resolve_cache, run_sweep
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``sweep`` subcommand parser (run / merge / show verbs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Sharded, cached parameter sweeps over table cells.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    run_p = sub.add_parser("run", help="execute (a shard of) a grid")
+    run_p.add_argument(
+        "axes", nargs="+", metavar="axis=v1,v2",
+        help="grid axes, e.g. n=256,4096 d=1,2 space=ring",
+    )
+    run_p.add_argument("--trials", type=int, default=100, help="trials per cell")
+    run_p.add_argument("--seed", type=int, default=20030206, help="master seed")
+    run_p.add_argument("--name", default="sweep", help="grid name (seed namespace)")
+    run_p.add_argument("--shard-index", type=int, default=0, help="this shard's index")
+    run_p.add_argument("--shard-count", type=int, default=1, help="total shards")
+    run_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes within one cell (0 = all cores)",
+    )
+    run_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes across cells (0 = all cores)",
+    )
+    run_p.add_argument("--engine", default="auto", help="placement engine selector")
+    run_p.add_argument("--cache", default=None, help="cache directory (overrides env)")
+    run_p.add_argument("--no-cache", action="store_true", help="disable the cache")
+    run_p.add_argument("--out", default=None, help="write the result artifact here")
+    run_p.add_argument(
+        "--table", action="store_true", help="render the result as a table"
+    )
+    run_p.add_argument(
+        "--row", default="n", help="table row axis (with --table; default n)"
+    )
+    run_p.add_argument(
+        "--col", default="d", help="table column axis (with --table; default d)"
+    )
+
+    merge_p = sub.add_parser("merge", help="merge shard artifacts")
+    merge_p.add_argument("inputs", nargs="+", help="shard artifact files")
+    merge_p.add_argument("--out", default=None, help="write the merged artifact here")
+    merge_p.add_argument("--table", action="store_true", help="render merged table")
+    merge_p.add_argument("--row", default="n", help="table row axis")
+    merge_p.add_argument("--col", default="d", help="table column axis")
+
+    show_p = sub.add_parser("show", help="render a saved artifact")
+    show_p.add_argument("input", help="artifact file")
+    show_p.add_argument("--row", default="n", help="table row axis")
+    show_p.add_argument("--col", default="d", help="table column axis")
+    return parser
+
+
+def _cache_arg(args) -> object:
+    if args.no_cache:
+        return "off"
+    if args.cache is not None:
+        return args.cache
+    return "auto"
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.verb == "run":
+        try:
+            grid = SweepGrid.from_mapping(
+                dict(
+                    parse_axis_args(args.axes),
+                    trials=args.trials,
+                    seed=args.seed,
+                    name=args.name,
+                )
+            )
+        except ValueError as exc:
+            print(f"bad grid: {exc}", file=sys.stderr)
+            return 2
+        store = resolve_cache(_cache_arg(args))
+        try:
+            result = run_sweep(
+                grid,
+                cache=store if store is not None else "off",
+                shard_index=args.shard_index,
+                shard_count=args.shard_count,
+                n_jobs=None if args.jobs == 0 else args.jobs,
+                engine=args.engine,
+                workers=None if args.workers == 0 else args.workers,
+                progress=lambda line: print(line, file=sys.stderr),
+            )
+        except ValueError as exc:
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return 2
+        meta = result.meta
+        print(
+            f"sweep {grid.name}: {len(result)} cells "
+            f"(shard {meta['shard_index'] + 1}/{meta['shard_count']}), "
+            f"{meta['hits']} cache hits, {meta['misses']} computed"
+            + (f", cache at {store.root}" if store is not None else ", cache off")
+        )
+        if args.out:
+            path = result.save(args.out)
+            print(f"wrote {path}")
+        if args.table:
+            print(result.to_report(row=args.row, col=args.col).render())
+        return 0
+
+    if args.verb == "merge":
+        try:
+            parts = [SweepResult.load(path) for path in args.inputs]
+            merged = SweepResult.merge(parts)
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"merge failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"merged {len(parts)} artifacts -> {len(merged)} cells")
+        if args.out:
+            path = merged.save(args.out)
+            print(f"wrote {path}")
+        if args.table:
+            print(merged.to_report(row=args.row, col=args.col).render())
+        return 0
+
+    # show
+    try:
+        result = SweepResult.load(args.input)
+        print(result.to_report(row=args.row, col=args.col).render())
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"show failed: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

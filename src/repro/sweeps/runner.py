@@ -1,0 +1,307 @@
+"""Sweep execution: cache-aware cell submission and sharded grid runs.
+
+Two levels of API:
+
+* :func:`submit_cell` / :func:`submit_profile` / :func:`fetch_or_compute`
+  — drop-in cached versions of the primitives the experiment drivers
+  already use (``run_cell``, ``run_cell_profile``, custom trial
+  loops).  Every driver in :mod:`repro.experiments` routes its cells
+  through these, so **re-running any table is incremental by
+  default**: cells whose (spec, trials, seed, code version) were
+  computed before are served from the content-addressed cache.
+
+* :func:`run_sweep` — expand a :class:`~repro.sweeps.grid.SweepGrid`,
+  select a shard, execute the uncached cells (serially, or
+  process-parallel across cells with ``workers``), populate the
+  cache, and return a mergeable
+  :class:`~repro.sweeps.result.SweepResult`.
+
+Cache resolution (the ``cache=`` argument accepted everywhere):
+
+* ``"auto"`` (default) — the environment decides: the directory named
+  by ``REPRO_SWEEP_CACHE``, the XDG user cache when unset, disabled
+  when the variable is ``off``/``none``/``0``/empty;
+* ``"off"`` / ``None`` / ``False`` — no caching, compute directly;
+* a path — a :class:`~repro.sweeps.cache.ResultCache` rooted there;
+* a :class:`~repro.sweeps.cache.ResultCache` — used as-is (pass your
+  own instance to observe hit/miss counters).
+
+Caching never changes results: payloads are deterministic functions
+of the spec, and a cell whose seed is ``None`` (nondeterministic)
+bypasses the cache entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.stats.distributions import MaxLoadDistribution
+from repro.stats.trials import CellSpec, run_cell, run_cell_profile
+from repro.sweeps.cache import DEFAULT_SALT, ResultCache, default_cache_dir, spec_key
+from repro.sweeps.grid import SweepCell, SweepGrid, shard_cells
+from repro.sweeps.result import SweepResult
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "fetch_or_compute",
+    "resolve_cache",
+    "run_sweep",
+    "submit_cell",
+    "submit_profile",
+]
+
+CacheLike = "ResultCache | str | os.PathLike | None | bool"
+
+
+def resolve_cache(cache: CacheLike = "auto") -> ResultCache | None:
+    """Normalize any accepted ``cache=`` form to a store or ``None``.
+
+    See the module docstring for the accepted forms.  ``None`` means
+    "caching disabled" and makes every submission compute directly.
+    """
+    if cache is None or cache is False or cache == "off":
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache == "auto":
+        root = default_cache_dir()
+        return None if root is None else ResultCache(root)
+    if isinstance(cache, (str, os.PathLike)):
+        return ResultCache(Path(cache))
+    raise TypeError(
+        "cache must be 'auto', 'off', None, a path, or a ResultCache; "
+        f"got {type(cache).__name__}"
+    )
+
+
+def _cacheable_seed(seed) -> int | None:
+    """The integer seed if the computation is deterministic, else ``None``."""
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        return int(seed)
+    return None
+
+
+def _counts_payload(dist: MaxLoadDistribution) -> dict:
+    return {"counts": dist.to_json_counts()}
+
+
+def _dist_from_payload(payload: Mapping, spec=None) -> MaxLoadDistribution:
+    return MaxLoadDistribution.from_json_counts(payload["counts"], spec=spec)
+
+
+def cell_spec_dict(spec: CellSpec, trials: int, seed: int, kind: str = "cell") -> dict:
+    """The canonical cache spec of one ``run_cell`` computation."""
+    return {
+        "kind": kind,
+        "space": spec.space,
+        "n": spec.n,
+        "d": spec.d,
+        "m": spec.m,
+        "strategy": spec.strategy,
+        "partitioned": spec.partitioned,
+        "dim": spec.dim,
+        "trials": trials,
+        "seed": seed,
+    }
+
+
+def submit_cell(
+    spec: CellSpec,
+    trials: int,
+    seed=None,
+    *,
+    n_jobs: int | None = 1,
+    engine: str = "auto",
+    cache: CacheLike = "auto",
+) -> MaxLoadDistribution:
+    """Cached drop-in for :func:`repro.stats.trials.run_cell`.
+
+    On a cache hit the stored counts are returned without simulating;
+    on a miss the cell is computed via ``run_cell`` (same ``n_jobs``
+    and ``engine`` semantics, bit-identical results) and stored.
+    ``seed=None`` or a disabled cache falls through to plain
+    ``run_cell``.
+    """
+    store = resolve_cache(cache)
+    cache_seed = _cacheable_seed(seed)
+    if store is None or cache_seed is None:
+        return run_cell(spec, trials, seed, n_jobs=n_jobs, engine=engine)
+    spec_d = cell_spec_dict(spec, trials, cache_seed)
+    entry = store.get(spec_d)
+    if entry is not None:
+        return _dist_from_payload(entry["payload"], spec=spec)
+    dist = run_cell(spec, trials, seed, n_jobs=n_jobs, engine=engine)
+    store.put(spec_d, _counts_payload(dist))
+    return dist
+
+
+def submit_profile(
+    spec: CellSpec,
+    trials: int,
+    seed=None,
+    *,
+    n_jobs: int | None = 1,
+    engine: str = "auto",
+    cache: CacheLike = "auto",
+) -> np.ndarray:
+    """Cached drop-in for :func:`repro.stats.trials.run_cell_profile`.
+
+    The mean ν-profile (a float array) is stored as an NPZ payload next
+    to the JSON entry — the cache's array path.
+    """
+    store = resolve_cache(cache)
+    cache_seed = _cacheable_seed(seed)
+    if store is None or cache_seed is None:
+        return run_cell_profile(spec, trials, seed, n_jobs=n_jobs, engine=engine)
+    spec_d = cell_spec_dict(spec, trials, cache_seed, kind="cell_profile")
+    entry = store.get(spec_d)
+    if entry is not None and "profile" in entry["arrays"]:
+        return entry["arrays"]["profile"]
+    profile = run_cell_profile(spec, trials, seed, n_jobs=n_jobs, engine=engine)
+    store.put(spec_d, {"trials": trials}, arrays={"profile": profile})
+    return profile
+
+
+def fetch_or_compute(
+    spec_dict: Mapping,
+    compute: Callable[[], MaxLoadDistribution],
+    *,
+    cache: CacheLike = "auto",
+) -> MaxLoadDistribution:
+    """Cache an arbitrary max-load distribution under an explicit spec.
+
+    For drivers whose cells are not ``run_cell`` cells (dynamic churn
+    trajectories, geometry/staleness ablations): ``spec_dict`` must
+    name every parameter that determines the result — including a
+    ``"kind"`` discriminator and the seed — and ``compute`` produces
+    the distribution on a miss.
+    """
+    store = resolve_cache(cache)
+    if store is None:
+        return compute()
+    entry = store.get(spec_dict)
+    if entry is not None:
+        return _dist_from_payload(entry["payload"])
+    dist = compute()
+    store.put(spec_dict, _counts_payload(dist))
+    return dist
+
+
+def _cell_record(cell: SweepCell, dist: MaxLoadDistribution) -> dict:
+    """A SweepResult cell record; keys use the default salt so the
+    artifact identity is independent of the local cache configuration."""
+    spec_d = cell.spec_dict()
+    return {
+        "key": spec_key(spec_d, DEFAULT_SALT),
+        "spec": spec_d,
+        "counts": dist.to_json_counts(),
+    }
+
+
+def _sweep_worker(args) -> dict:
+    """Process-pool entry: compute one cell, return its counts."""
+    spec, trials, seed, engine = args
+    return run_cell(spec, trials, seed, engine=engine).to_json_counts()
+
+
+def run_sweep(
+    grid: SweepGrid,
+    *,
+    cache: CacheLike = "auto",
+    shard_index: int = 0,
+    shard_count: int = 1,
+    n_jobs: int | None = 1,
+    engine: str = "auto",
+    workers: int | None = 1,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Execute (one shard of) a grid and return a mergeable result.
+
+    Parameters
+    ----------
+    grid:
+        The declarative grid to expand.
+    cache:
+        Cache selector (module docstring); hits skip simulation.
+    shard_index, shard_count:
+        Select shard ``shard_index`` of a ``shard_count``-way
+        round-robin partition of the expanded cell list.  Shards of
+        the same grid merge (:meth:`SweepResult.merge
+        <repro.sweeps.result.SweepResult.merge>`) to the byte-identical
+        unsharded artifact.
+    n_jobs:
+        Worker processes *within* one cell (forwarded to ``run_cell``).
+    engine:
+        Placement engine selector, forwarded to ``run_cell``; results
+        are independent of it.
+    workers:
+        Process-parallel workers *across* uncached cells (``None`` =
+        one per CPU).  Mutually exclusive with ``n_jobs != 1``.
+    progress:
+        Optional callable receiving one line per executed cell.
+
+    Returns
+    -------
+    SweepResult
+        Grid description + per-cell counts; ``meta`` carries hit/miss
+        counters and the shard coordinates.
+    """
+    if workers != 1 and n_jobs != 1:
+        raise ValueError("use workers (across cells) or n_jobs (within a cell), not both")
+    cells = shard_cells(grid.cells(), shard_index, shard_count)
+    store = resolve_cache(cache)
+    say = progress or (lambda line: None)
+
+    records: dict[int, dict] = {}
+    pending: list[tuple[int, SweepCell]] = []
+    hits = 0
+    for pos, cell in enumerate(cells):
+        entry = store.get(cell.spec_dict()) if store is not None else None
+        if entry is not None:
+            records[pos] = _cell_record(cell, _dist_from_payload(entry["payload"]))
+            hits += 1
+            say(f"[cache hit] {cell.label()} trials={cell.trials}")
+        else:
+            pending.append((pos, cell))
+
+    if pending and workers == 1:
+        for pos, cell in pending:
+            dist = run_cell(
+                cell.spec, cell.trials, cell.seed, n_jobs=n_jobs, engine=engine
+            )
+            if store is not None:
+                store.put(cell.spec_dict(), _counts_payload(dist))
+            records[pos] = _cell_record(cell, dist)
+            say(f"[computed]  {cell.label()} trials={cell.trials}")
+    elif pending:
+        pool_size = workers if workers is not None else (os.cpu_count() or 1)
+        check_positive_int(pool_size, "workers")
+        ctx = get_context("fork") if os.name == "posix" else get_context()
+        payload = [(c.spec, c.trials, c.seed, engine) for _, c in pending]
+        with ctx.Pool(min(pool_size, len(pending))) as pool:
+            counts_list = pool.map(_sweep_worker, payload)
+        for (pos, cell), counts in zip(pending, counts_list):
+            dist = _dist_from_payload({"counts": counts})
+            if store is not None:
+                store.put(cell.spec_dict(), {"counts": counts})
+            records[pos] = _cell_record(cell, dist)
+            say(f"[computed]  {cell.label()} trials={cell.trials}")
+
+    meta = {
+        "hits": hits,
+        "misses": len(pending),
+        "shard_index": shard_index,
+        "shard_count": shard_count,
+        "engine": engine,
+        "cached": store is not None,
+    }
+    return SweepResult(
+        grid=grid.describe(),
+        cells=[records[pos] for pos in range(len(cells))],
+        meta=meta,
+    )

@@ -21,6 +21,17 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Point the sweep result cache at a per-test temp dir.
+
+    Experiment drivers cache through ``REPRO_SWEEP_CACHE`` by default;
+    tests must never read a developer's warm user cache (stale hits
+    would mask regressions) nor write into it.
+    """
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweep-cache"))
+
+
 @pytest.fixture
 def rng():
     """A fresh deterministic generator per test."""

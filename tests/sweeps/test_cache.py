@@ -1,0 +1,137 @@
+"""Cache correctness: content addressing, invalidation, robustness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sweeps.cache import (
+    DEFAULT_SALT,
+    ResultCache,
+    canonical_json,
+    default_cache_dir,
+    spec_key,
+)
+
+SPEC = {"kind": "cell", "space": "ring", "n": 256, "d": 2, "trials": 10, "seed": 42}
+
+
+class TestSpecKey:
+    def test_key_is_order_insensitive(self):
+        shuffled = dict(reversed(list(SPEC.items())))
+        assert spec_key(SPEC) == spec_key(shuffled)
+
+    def test_identical_specs_same_key(self):
+        assert spec_key(dict(SPEC)) == spec_key(dict(SPEC))
+
+    @pytest.mark.parametrize("field,value", [
+        ("n", 512),
+        ("d", 3),
+        ("trials", 11),
+        ("seed", 43),
+        ("space", "torus"),
+        ("kind", "cell_profile"),
+    ])
+    def test_any_perturbation_changes_key(self, field, value):
+        perturbed = dict(SPEC, **{field: value})
+        assert spec_key(perturbed) != spec_key(SPEC)
+
+    def test_salt_changes_key(self):
+        assert spec_key(SPEC, salt="other") != spec_key(SPEC, salt=DEFAULT_SALT)
+
+    def test_canonical_json_is_byte_stable(self):
+        a = canonical_json({"b": 1, "a": [1, 2]})
+        b = canonical_json({"a": [1, 2], "b": 1})
+        assert a == b == '{"a":[1,2],"b":1}'
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(SPEC) is None
+        cache.put(SPEC, {"counts": {"3": 7}})
+        entry = cache.get(SPEC)
+        assert entry is not None and entry["payload"]["counts"] == {"3": 7}
+        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_perturbed_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(SPEC, {"counts": {"3": 7}})
+        assert cache.get(dict(SPEC, seed=SPEC["seed"] + 1)) is None
+        assert cache.get(dict(SPEC, trials=SPEC["trials"] + 1)) is None
+
+    def test_salt_change_invalidates(self, tmp_path):
+        """Bumping the code-version salt orphans every existing entry."""
+        old = ResultCache(tmp_path, salt="v1")
+        old.put(SPEC, {"counts": {"3": 7}})
+        new = ResultCache(tmp_path, salt="v2")
+        assert SPEC not in new
+        assert new.get(SPEC) is None
+        # the old salt still resolves its own entries
+        assert ResultCache(tmp_path, salt="v1").get(SPEC) is not None
+
+    def test_contains_does_not_bump_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(SPEC, {"counts": {}})
+        assert SPEC in cache
+        assert cache.stats["hits"] == 0 and cache.stats["misses"] == 0
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(SPEC, {"counts": {"3": 7}})
+        path.write_text("{not json")
+        assert cache.get(SPEC) is None
+
+    def test_spec_mismatch_refused(self, tmp_path):
+        """A tampered entry whose recorded spec differs is not served."""
+        cache = ResultCache(tmp_path)
+        path = cache.put(SPEC, {"counts": {"3": 7}})
+        entry = json.loads(path.read_text())
+        entry["spec"]["n"] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.get(SPEC) is None
+
+    def test_array_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        profile = np.linspace(0.0, 1.0, 17)
+        cache.put(SPEC, {"trials": 10}, arrays={"profile": profile})
+        entry = cache.get(SPEC)
+        np.testing.assert_array_equal(entry["arrays"]["profile"], profile)
+
+    def test_missing_npz_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(SPEC, {"trials": 10}, arrays={"profile": np.ones(3)})
+        for npz in tmp_path.glob("*/*.npz"):
+            npz.unlink()
+        assert cache.get(SPEC) is None
+
+    def test_reput_overwrites_identically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = cache.put(SPEC, {"counts": {"3": 7}}).read_bytes()
+        second = cache.put(SPEC, {"counts": {"3": 7}}).read_bytes()
+        assert first == second
+
+    def test_entry_count_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.entry_count() == 0
+        cache.put(SPEC, {"counts": {}})
+        cache.put(dict(SPEC, n=512), {"counts": {}}, arrays={"a": np.ones(2)})
+        assert cache.entry_count() == 2
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+
+class TestDefaultCacheDir:
+    def test_env_path_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "c"))
+        assert default_cache_dir() == tmp_path / "c"
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", "OFF", " disabled "])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", value)
+        assert default_cache_dir() is None
+
+    def test_unset_falls_back_to_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro" / "sweeps"

@@ -8,11 +8,13 @@ import repro
 
 SUBPACKAGES = [
     "repro.core",
+    "repro.dynamics",
     "repro.theory",
     "repro.baselines",
     "repro.dht",
     "repro.geo2d",
     "repro.stats",
+    "repro.sweeps",
     "repro.experiments",
     "repro.utils",
 ]
