@@ -16,8 +16,21 @@ Protocol notes (what makes the numbers comparable):
 * each engine gets an untimed warm-up run (page faults, lazily built
   bucket tables) and the best of ``--repeats`` timed runs is kept —
   the shared-box noise here is easily ±15%;
-* slow engines measure fewer trials / balls at the big sizes — the
-  statistic is per-ball throughput, which is trial-count independent.
+* slow engines measure fewer trials / balls at the big sizes (the
+  per-cell ``trials``/``batched_trials``/``sequential_balls`` fields
+  record exactly how many each engine placed) — the statistic is
+  per-ball throughput, which is trial-count independent, so the rows
+  are directly comparable despite the differing trial counts;
+* every measurement pins ``REPRO_KERNEL_BACKEND`` for its duration:
+  the engine rows are pure-numpy (no compiled kernels sneaking into
+  the ring lookup), and each kernel-backend row runs entirely under
+  that backend.
+
+Besides the three engines, the fused engine is measured once per
+*kernel backend* available on the machine (``numpy`` reference, plus
+``numba``/``cext`` when importable/compilable — see
+:mod:`repro.kernels`), emitted under ``backends`` with the speedup
+over the numpy reference.
 
 Usage::
 
@@ -29,8 +42,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -40,6 +55,7 @@ from repro.core.engine import run_batched, run_sequential
 from repro.core.multitrial import fused_trial_chunk, run_fused
 from repro.core.ring import RingSpace
 from repro.core.strategies import TieBreak
+from repro.kernels import available_backends
 
 D = 2
 STRATEGY = TieBreak.RANDOM
@@ -63,6 +79,26 @@ def _spaces_and_seeds(n: int, trials: int):
     return [RingSpace.random(n, seed=9000 + k) for k in range(trials)]
 
 
+@contextmanager
+def _pinned_backend(name: str):
+    """Force one kernel backend for everything inside the block.
+
+    The env var is the strongest selector (:mod:`repro.kernels`), so
+    pinning it steers both the engine's ``backend=`` resolution and the
+    kwarg-less call sites underneath (the ring bucket-table lookup) —
+    a "numpy" measurement really is numpy all the way down.
+    """
+    prev = os.environ.get("REPRO_KERNEL_BACKEND")
+    os.environ["REPRO_KERNEL_BACKEND"] = name
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ["REPRO_KERNEL_BACKEND"]
+        else:
+            os.environ["REPRO_KERNEL_BACKEND"] = prev
+
+
 def _time_best(fn, repeats: int) -> float:
     fn()  # warm-up: page faults, bucket tables, allocator reuse
     best = float("inf")
@@ -73,7 +109,7 @@ def _time_best(fn, repeats: int) -> float:
     return best
 
 
-def _measure_cell(n, trials, batched_trials, sequential_balls, repeats):
+def _measure_cell(n, trials, batched_trials, sequential_balls, repeats, backends):
     spaces = _spaces_and_seeds(n, trials)
 
     def fused():
@@ -93,11 +129,12 @@ def _measure_cell(n, trials, batched_trials, sequential_balls, repeats):
         run_sequential(spaces[0], sequential_balls, D, STRATEGY,
                        np.random.default_rng(0))
 
-    timings = {
-        "fused": (_time_best(fused, repeats), trials * n),
-        "batched": (_time_best(batched, repeats), batched_trials * n),
-        "sequential": (_time_best(sequential, repeats), sequential_balls),
-    }
+    with _pinned_backend("numpy"):
+        timings = {
+            "fused": (_time_best(fused, repeats), trials * n),
+            "batched": (_time_best(batched, repeats), batched_trials * n),
+            "sequential": (_time_best(sequential, repeats), sequential_balls),
+        }
     engines = {
         name: {
             "seconds": round(seconds, 4),
@@ -106,29 +143,57 @@ def _measure_cell(n, trials, batched_trials, sequential_balls, repeats):
         }
         for name, (seconds, balls) in timings.items()
     }
+    backend_rows = {"numpy": dict(engines["fused"])}
+    for name in backends:
+        if name == "numpy":
+            continue
+        with _pinned_backend(name):
+            seconds = _time_best(fused, repeats)
+        backend_rows[name] = {
+            "seconds": round(seconds, 4),
+            "balls": trials * n,
+            "balls_per_s": round(trials * n / seconds, 1),
+        }
+    for row in backend_rows.values():
+        row["speedup_over_numpy"] = round(
+            row["balls_per_s"] / backend_rows["numpy"]["balls_per_s"], 2
+        )
     return {
         "n": n,
         "trials": trials,
         "batched_trials": batched_trials,
         "sequential_balls": sequential_balls,
         "engines": engines,
+        "backends": backend_rows,
         "speedup_fused_over_batched": round(
             engines["fused"]["balls_per_s"] / engines["batched"]["balls_per_s"], 2
         ),
     }
 
 
-def _cross_check(n: int, trials: int) -> None:
-    """Fused and batched must produce identical loads (fail loudly)."""
+def _cross_check(n: int, trials: int, backends) -> None:
+    """Every engine × backend must produce identical loads (fail loudly)."""
     spaces = _spaces_and_seeds(n, trials)
-    rngs = [np.random.default_rng(k) for k in range(trials)]
-    fused, _ = run_fused(spaces, n, D, STRATEGY, rngs)
-    for k in range(trials):
-        batched, _ = run_batched(spaces[k], n, D, STRATEGY,
-                                 np.random.default_rng(k))
-        if not np.array_equal(fused[k], batched):
+    reference = None
+    for name in backends:
+        with _pinned_backend(name):
+            rngs = [np.random.default_rng(k) for k in range(trials)]
+            fused, _ = run_fused(spaces, n, D, STRATEGY, rngs)
+        if reference is None:
+            reference = fused
+            with _pinned_backend("numpy"):
+                for k in range(trials):
+                    batched, _ = run_batched(spaces[k], n, D, STRATEGY,
+                                             np.random.default_rng(k))
+                    if not np.array_equal(fused[k], batched):
+                        raise AssertionError(
+                            f"fused/batched divergence at n={n}, trial {k} — "
+                            "bit-identity broken, refusing to emit benchmark "
+                            "numbers"
+                        )
+        elif not np.array_equal(reference, fused):
             raise AssertionError(
-                f"fused/batched divergence at n={n}, trial {k} — "
+                f"kernel backend {name!r} diverges from numpy at n={n} — "
                 "bit-identity broken, refusing to emit benchmark numbers"
             )
 
@@ -148,18 +213,34 @@ def main(argv=None) -> int:
     repeats = args.repeats or (1 if args.fast else 3)
     cells = FAST_CELLS if args.fast else FULL_CELLS
 
-    _cross_check(cells[0][0], min(8, cells[0][1]))
+    backends = ["numpy"] + [
+        name for name, ok in available_backends().items()
+        if ok and name != "numpy"
+    ]
+    print(f"kernel backends measured: {', '.join(backends)}")
+    _cross_check(cells[0][0], min(8, cells[0][1]), backends)
     results = []
     for n, trials, batched_trials, sequential_balls in cells:
-        cell = _measure_cell(n, trials, batched_trials, sequential_balls, repeats)
+        cell = _measure_cell(
+            n, trials, batched_trials, sequential_balls, repeats, backends
+        )
         results.append(cell)
         f = cell["engines"]
         print(
             f"n=2^{n.bit_length() - 1}: fused {f['fused']['balls_per_s']:,.0f} "
-            f"balls/s, batched {f['batched']['balls_per_s']:,.0f}, "
-            f"sequential {f['sequential']['balls_per_s']:,.0f} "
+            f"balls/s ({cell['trials']} trials), batched "
+            f"{f['batched']['balls_per_s']:,.0f} ({cell['batched_trials']} "
+            f"trials), sequential {f['sequential']['balls_per_s']:,.0f} "
+            f"({cell['sequential_balls']} balls) "
             f"(fused/batched = {cell['speedup_fused_over_batched']}x)"
         )
+        for name, row in cell["backends"].items():
+            if name == "numpy":
+                continue
+            print(
+                f"  fused[{name}]: {row['balls_per_s']:,.0f} balls/s "
+                f"({row['speedup_over_numpy']}x over numpy)"
+            )
 
     payload = {
         "benchmark": "engine_throughput",
@@ -169,6 +250,14 @@ def main(argv=None) -> int:
         "d": D,
         "strategy": STRATEGY.value,
         "repeats": repeats,
+        "kernel_backends": backends,
+        "note": (
+            "throughputs are balls/s and trial-count independent; engines "
+            "place different trial counts per cell (see trials/"
+            "batched_trials/sequential_balls). 'backends' rows rerun the "
+            "fused engine under each kernel backend, REPRO_KERNEL_BACKEND "
+            "pinned; 'engines' rows are pure numpy."
+        ),
         "unix_time": int(time.time()),
         "cells": results,
     }

@@ -59,6 +59,7 @@ from repro.core.strategies import (
     decide_rows,
     strategy_needs_measures,
 )
+from repro.kernels import STRATEGY_CODES, KernelBackend, resolve_backend
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
 __all__ = ["run_fused", "auto_fused_batch_size", "fused_trial_chunk"]
@@ -104,6 +105,55 @@ def fused_trial_chunk(n: int, m: int, d: int) -> int:
     return max(1, min(by_candidates, by_bins))
 
 
+def _run_fused_kernel(
+    spaces: Sequence[GeometricSpace],
+    m: int,
+    d: int,
+    strategy: TieBreak,
+    rngs: Sequence[np.random.Generator],
+    backend: KernelBackend,
+    *,
+    partitioned: bool,
+    rng_block: int,
+    record_heights: bool,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Kernel-backend twin of :func:`run_fused`'s numpy path.
+
+    A compiled scalar loop has no numpy dispatch overhead to amortize,
+    so the optimistic-chunk machinery is unnecessary: each trial's RNG
+    blocks are fed straight through the backend's ``place_block``
+    kernel, which *is* the sequential reference semantics — trial
+    ``k`` consumes ``rngs[k]`` through the same
+    :func:`~repro.core.engine.choice_blocks` layout and decides every
+    ball with the same tie-break arithmetic, so results stay
+    bit-identical to :func:`~repro.core.engine.run_sequential` (the
+    parity suite checks this per backend).
+    """
+    t = len(spaces)
+    n = spaces[0].n
+    code = STRATEGY_CODES[strategy.value]
+    needs_measures = strategy_needs_measures(strategy)
+    loads = np.zeros((t, n), dtype=np.int64)
+    heights = np.zeros((t, m), dtype=np.int64) if record_heights else None
+    for k, (space, rng) in enumerate(zip(spaces, rngs)):
+        measures = space.region_measures() if needs_measures else None
+        pos = 0
+        for bins, us in choice_blocks(
+            space, rng, m, d, partitioned=partitioned, rng_block=rng_block
+        ):
+            b = bins.shape[0]
+            backend.place_block(
+                bins,
+                us,
+                loads[k],
+                measures,
+                code,
+                heights[k, pos : pos + b] if heights is not None else None,
+            )
+            pos += b
+    return loads, heights
+
+
 def run_fused(
     spaces: Sequence[GeometricSpace],
     m: int,
@@ -115,6 +165,7 @@ def run_fused(
     rng_block: int = DEFAULT_RNG_BLOCK,
     batch_size: int | None = None,
     record_heights: bool = False,
+    backend: KernelBackend | str | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Place ``m`` balls in each of ``len(spaces)`` fused trials.
 
@@ -131,7 +182,15 @@ def run_fused(
     batch_size:
         Rows per optimistic chunk of the fused stream; ``None`` tunes
         it via :func:`auto_fused_batch_size`.  Affects speed only,
-        never results.
+        never results (ignored by accelerated kernel backends, which
+        need no chunking).
+    backend:
+        Kernel backend selection, resolved by
+        :func:`repro.kernels.resolve_backend` (env var →  this kwarg →
+        auto-detect).  ``"numpy"`` keeps the vectorized
+        optimistic-chunk path below; an accelerated backend runs the
+        compiled scalar loop instead.  Results are identical either
+        way.
 
     Returns
     -------
@@ -154,6 +213,19 @@ def run_fused(
     m = check_non_negative_int(m, "m")
     d = check_positive_int(d, "d")
     strategy = TieBreak.coerce(strategy)
+    backend_obj = resolve_backend(backend)
+    if backend_obj.place_block is not None:
+        return _run_fused_kernel(
+            spaces,
+            m,
+            d,
+            strategy,
+            rngs,
+            backend_obj,
+            partitioned=partitioned,
+            rng_block=rng_block,
+            record_heights=record_heights,
+        )
     if batch_size is None:
         batch_size = auto_fused_batch_size(n, d, t)
     batch_size = check_positive_int(batch_size, "batch_size")

@@ -241,6 +241,7 @@ def place_balls_multi(
     batch_size: int | None = None,
     rng_block: int = _engine.DEFAULT_RNG_BLOCK,
     record_heights: bool = False,
+    backend=None,
 ) -> list[PlacementResult]:
     """Run the greedy process once per space, fused across runs.
 
@@ -258,6 +259,11 @@ def place_balls_multi(
         ``None`` (fresh entropy per run) or a sequence of per-run
         seeds, each anything :func:`repro.utils.rng.resolve_rng`
         accepts.
+    backend:
+        Kernel backend selection for the fused engine, forwarded to
+        :func:`repro.core.multitrial.run_fused`
+        (:func:`repro.kernels.resolve_backend` semantics; results are
+        backend-independent).
 
     Examples
     --------
@@ -287,6 +293,7 @@ def place_balls_multi(
         rng_block=rng_block,
         batch_size=batch_size,
         record_heights=record_heights,
+        backend=backend,
     )
     return [
         PlacementResult(

@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.spaces import GeometricSpace
+from repro.kernels import default_backend
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import as_float_array, check_positive_int
 
@@ -149,6 +150,15 @@ class RingSpace(GeometricSpace):
         """``assign`` without domain validation, for engine-generated
         points that are uniform draws in [0, 1) by construction."""
         if pts.size >= self._LUT_MIN_QUERIES and self.n >= self._LUT_MIN_BINS:
+            backend = default_backend()
+            if backend.ring_assign is not None:
+                # compiled twin of the bucketed walk below (parity suite
+                # checks bit-identity); already reduced mod n
+                nbuckets, table, pos_ext = self._bucket_table()
+                return backend.ring_assign(
+                    np.ascontiguousarray(pts.ravel()), table, pos_ext,
+                    nbuckets, self.n,
+                ).reshape(pts.shape)
             idx = self._assign_bucketed(pts.ravel()).reshape(pts.shape)
         else:
             # 'left': first index with pos >= x, the clockwise successor.

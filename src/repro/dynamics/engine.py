@@ -62,6 +62,7 @@ from repro.core.strategies import (
 )
 from repro.dynamics.events import EventKind, EventTrace
 from repro.dynamics.result import DynamicResult
+from repro.kernels import STRATEGY_CODES, KernelBackend, resolve_backend
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_positive_int
 
@@ -349,8 +350,35 @@ def _run_event_window(
     start: int,
     stop: int,
     batch_size: int,
+    backend: KernelBackend | None = None,
 ) -> None:
-    """Batched processing of a churn-free window of inserts/deletes."""
+    """Batched processing of a churn-free window of inserts/deletes.
+
+    With an accelerated kernel ``backend``, the whole window runs
+    through its ``dynamic_window`` kernel — a compiled scalar loop
+    applying events strictly in order, i.e. the sequential reference
+    semantics itself, so per-epoch trajectories are bit-identical by
+    construction.  Otherwise the mixed-event conflict-free-prefix
+    vectorization below is used.
+    """
+    if backend is not None and backend.dynamic_window is not None:
+        ins, dels = backend.dynamic_window(
+            kinds,
+            args,
+            start,
+            stop,
+            state.cands,
+            state.us,
+            state.d,
+            state.remap,
+            state.loads,
+            state.measures if state.needs_measures else None,
+            STRATEGY_CODES[state.strategy.value],
+            state.ball_bin,
+        )
+        state.inserts_done += ins
+        state.deletes_done += dels
+        return
     d = state.d
     i = start
     while i < stop:
@@ -407,6 +435,7 @@ def run_batched_dynamic(
     rng_block: int = DEFAULT_RNG_BLOCK,
     batch_size: int | None = None,
     record_loads: bool = False,
+    backend: KernelBackend | str | None = None,
 ) -> DynamicResult:
     """Vectorized engine: mixed-event conflict-free-prefix batching.
 
@@ -415,10 +444,16 @@ def run_batched_dynamic(
     the same tie-break kernels, churn events and snapshots are shared
     scalar code acting as batch barriers, and only events provably
     independent of intra-batch ordering are decided together.
+
+    ``backend`` selects the kernel backend for the churn-free event
+    windows (:func:`repro.kernels.resolve_backend` semantics);
+    accelerated backends replace the prefix machinery with one compiled
+    in-order pass per window, with identical trajectories.
     """
     if batch_size is None:
         batch_size = auto_batch_size(space.n, d)
     batch_size = check_positive_int(batch_size, "batch_size")
+    backend_obj = resolve_backend(backend)
     state = _DynamicState(
         space,
         trace,
@@ -447,7 +482,7 @@ def run_batched_dynamic(
             stop = epoch_end
             if churn_ptr < churn_positions.size:
                 stop = min(stop, int(churn_positions[churn_ptr]))
-            _run_event_window(state, kinds, args, i, stop, batch_size)
+            _run_event_window(state, kinds, args, i, stop, batch_size, backend_obj)
             i = stop
         state.snapshot()
     return state.result("batched")
@@ -465,12 +500,22 @@ def simulate_dynamics(
     rng_block: int = DEFAULT_RNG_BLOCK,
     partitioned: bool = False,
     record_loads: bool = False,
+    backend: KernelBackend | str | None = None,
 ) -> DynamicResult:
     """Replay a dynamic workload on a space — the dynamics facade.
 
     The dynamic counterpart of :func:`repro.core.placement.place_balls`:
     same seed handling, same engine auto-selection, same guarantee that
     the engine choice never changes the result.
+
+    ``backend`` selects the kernel backend
+    (:func:`repro.kernels.resolve_backend`: env var → this kwarg →
+    auto-detect).  With an accelerated backend, ``engine="auto"``
+    resolves to ``"batched"`` at every ``n`` — the compiled window
+    kernel has no vectorization overhead to amortize — and the batched
+    engine's event windows run through it.  ``engine="sequential"`` is
+    always the pure-Python reference and ignores ``backend``.  Results
+    are bit-identical across every engine/backend combination.
 
     Examples
     --------
@@ -486,8 +531,12 @@ def simulate_dynamics(
     """
     strat = TieBreak.coerce(strategy)
     rng = resolve_rng(seed)
+    backend_obj = resolve_backend(backend)
     if engine == "auto":
-        engine = _static_auto_engine(space.n)
+        if backend_obj.dynamic_window is not None:
+            engine = "batched"
+        else:
+            engine = _static_auto_engine(space.n)
     if engine == "sequential":
         return run_sequential_dynamic(
             space,
@@ -510,6 +559,7 @@ def simulate_dynamics(
             rng_block=rng_block,
             batch_size=batch_size,
             record_loads=record_loads,
+            backend=backend_obj,
         )
     raise ValueError(
         f"engine must be 'auto', 'sequential' or 'batched', got {engine!r}"

@@ -178,6 +178,7 @@ def tiebreak_sweep(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    backend=None,
     cache="auto",
 ) -> ExperimentReport:
     """Strategies x d grid at fixed n."""
@@ -192,6 +193,7 @@ def tiebreak_sweep(
                 seed=stable_hash_seed("abl-tie", seed, n, d, name),
                 n_jobs=n_jobs,
                 engine=engine,
+                backend=backend,
                 cache=store,
             )
     return ExperimentReport(
@@ -215,6 +217,7 @@ def mn_sweep(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    backend=None,
     cache="auto",
 ) -> ExperimentReport:
     """Max load vs m/n (the heavily loaded remark)."""
@@ -229,6 +232,7 @@ def mn_sweep(
                 seed=stable_hash_seed("abl-mn", seed, n, r, d),
                 n_jobs=n_jobs,
                 engine=engine,
+                backend=backend,
                 cache=store,
             )
     return ExperimentReport(
@@ -252,6 +256,7 @@ def dimension_sweep(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    backend=None,
     cache="auto",
 ) -> ExperimentReport:
     """Torus dimension sweep (the higher-dimension remark)."""
@@ -266,6 +271,7 @@ def dimension_sweep(
                 seed=stable_hash_seed("abl-dim", seed, n, dim, d),
                 n_jobs=n_jobs,
                 engine=engine,
+                backend=backend,
                 cache=store,
             )
     return ExperimentReport(

@@ -31,12 +31,13 @@ def run(
     seed: int = 20030206,  # the TR's publication date
     n_jobs: int | None = 1,
     engine: str = "auto",
+    backend=None,
     cache="auto",
     full: bool = False,
 ) -> ExperimentReport:
     """Regenerate Table 1 (scaled by default; ``full=True`` for paper scale).
 
-    ``engine`` is forwarded to :func:`repro.stats.trials.run_cell`;
+    ``engine`` and kernel ``backend`` are forwarded to :func:`repro.stats.trials.run_cell`;
     the default auto-selects the trial-fused engine for serial runs.
     Cells run through the sweep layer's result cache (``cache`` as in
     :func:`repro.sweeps.runner.resolve_cache`), so an identical re-run
@@ -57,6 +58,7 @@ def run(
                     seed=stable_hash_seed("table1", seed, n, d),
                     n_jobs=n_jobs,
                     engine=engine,
+                    backend=backend,
                     cache=store,
                 )
     return ExperimentReport(

@@ -27,6 +27,7 @@ def run(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    backend=None,
     cache="auto",
     full: bool = False,
     dim: int = 2,
@@ -34,7 +35,7 @@ def run(
     """Regenerate Table 2 (scaled by default; ``full=True`` for paper scale).
 
     ``dim`` other than 2 exercises the paper's higher-dimension remark
-    (used by the ablation driver).  ``engine`` is forwarded to
+    (used by the ablation driver).  ``engine`` and kernel ``backend`` are forwarded to
     :func:`repro.stats.trials.run_cell`; cells are cached through the
     sweep layer (``cache`` as in
     :func:`repro.sweeps.runner.resolve_cache`).
@@ -54,6 +55,7 @@ def run(
                     seed=stable_hash_seed("table2", seed, n, d, dim),
                     n_jobs=n_jobs,
                     engine=engine,
+                    backend=backend,
                     cache=store,
                 )
     return ExperimentReport(

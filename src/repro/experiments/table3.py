@@ -42,12 +42,13 @@ def run(
     seed: int = 20030206,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    backend=None,
     cache="auto",
     full: bool = False,
 ) -> ExperimentReport:
     """Regenerate Table 3 (scaled by default; ``full=True`` for paper scale).
 
-    ``engine`` is forwarded to :func:`repro.stats.trials.run_cell`;
+    ``engine`` and kernel ``backend`` are forwarded to :func:`repro.stats.trials.run_cell`;
     cells are cached through the sweep layer (``cache`` as in
     :func:`repro.sweeps.runner.resolve_cache`).
     """
@@ -74,6 +75,7 @@ def run(
                     seed=stable_hash_seed("table3", seed, n, name, d),
                     n_jobs=n_jobs,
                     engine=engine,
+                    backend=backend,
                     cache=store,
                 )
     return ExperimentReport(

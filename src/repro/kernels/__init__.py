@@ -1,0 +1,236 @@
+"""Pluggable raw-speed backends for the hot placement kernels.
+
+`BENCH_engine.json` showed the fused engine plateauing around 4M
+balls/s with the fused-over-batched edge decaying as ``n`` grows: at
+paper scale the process is bound by numpy dispatch overhead, not by
+the algorithm.  This package factors the three hot paths into *scalar
+kernels* that a compiled tier can run at memory speed:
+
+``place_block``
+    Sequential greedy placement of one RNG block of balls — the inner
+    loop of :func:`repro.core.multitrial.run_fused` (and, per trial,
+    of every engine).  One compiled pass replaces the whole
+    optimistic-chunk + scalar-repair dance.
+``dynamic_window``
+    A churn-free window of mixed insert/delete events — the inner loop
+    of :func:`repro.dynamics.engine.run_batched_dynamic`.
+``ring_assign``
+    The bucket-table ring ownership lookup behind
+    :meth:`repro.core.ring.RingSpace.assign`.
+
+Three backends provide them:
+
+``numpy``
+    The reference.  It carries **no** kernels (all three attributes are
+    ``None``): callers keep their existing vectorized numpy code paths,
+    which remain the semantics every other backend must reproduce
+    bit-for-bit.
+``numba``
+    ``@njit``-compiled scalar loops (optional dependency, installed via
+    ``pip install repro-geometric-two-choices[fast]``).  Import is lazy:
+    ``import repro`` never touches numba, and an absent numba never
+    raises on the auto path.
+``cext``
+    The same scalar loops as a tiny C library compiled on first use
+    with the host C compiler (``cc -O3``) and loaded through
+    ``ctypes``; the build artifact is cached on disk keyed by a source
+    hash.  Available wherever a C toolchain is, with zero Python
+    dependencies.
+
+Selection order (strongest first): the ``REPRO_KERNEL_BACKEND``
+environment variable, then the ``backend=`` kwarg threaded through
+:func:`repro.stats.trials.run_cell` /
+:func:`repro.dynamics.engine.simulate_dynamics` /
+:func:`repro.core.multitrial.run_fused`, then auto-detection
+(``numba`` if importable, else ``cext`` if a C compiler is found, else
+``numpy``).  The env var lets CI force a backend through every code
+path; auto-detection degrades gracefully and silently — no warning
+spam when accelerators are absent.
+
+All backends are interchangeable **bit-for-bit**: the parity suite
+(``tests/kernels``) checks identical placements, per-epoch dynamic
+trajectories and ring assignments against the numpy reference for
+every backend that is available.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "KernelBackend",
+    "BACKEND_NAMES",
+    "STRATEGY_CODES",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "default_backend",
+]
+
+#: Names accepted by :func:`get_backend` (besides ``"auto"``).
+BACKEND_NAMES = ("numpy", "numba", "cext")
+
+#: Integer codes the compiled kernels use for the tie-break strategy,
+#: keyed by :class:`repro.core.strategies.TieBreak` *values* (plain
+#: strings, so this package never imports ``repro.core``).
+STRATEGY_CODES = {"random": 0, "first": 1, "smaller": 2, "larger": 3}
+
+#: Auto-detection preference among accelerated backends.
+_AUTO_ORDER = ("numba", "cext")
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One entry of the kernel registry.
+
+    Each kernel attribute is either a callable with the uniform
+    signature below or ``None``, meaning "use the caller's built-in
+    numpy path" (the numpy reference backend has all three ``None``).
+
+    ``place_block(bins, us, loads, measures, strategy_code, heights)``
+        Place ``bins.shape[0]`` balls sequentially: for each row pick
+        the least-loaded of its ``d`` candidate bins (ties by
+        ``strategy_code``, consuming ``us``), increment ``loads`` in
+        place, and record 1-based heights into ``heights`` when it is
+        not ``None``.  ``measures`` is the full per-bin measure array
+        (or ``None`` for strategies that ignore it).
+    ``dynamic_window(kinds, args, start, stop, cands, us, d, remap,
+    loads, measures, strategy_code, ball_bin)``
+        Apply trace events ``start <= i < stop`` (inserts and deletes
+        only — churn is a barrier handled by the caller), mutating
+        ``loads`` and ``ball_bin`` in place; ``remap`` is the cyclic-
+        successor bin remap or ``None`` for the identity.  Returns the
+        ``(inserts, deletes)`` counts applied.
+    ``ring_assign(pts, table, pos_ext, nbuckets, n)``
+        Bucket-table ring ownership lookup: for each point start at
+        the cached lower bound of its bucket and probe forward, exactly
+        like :meth:`repro.core.ring.RingSpace._assign_bucketed`.
+        Returns an int64 index array.
+    """
+
+    name: str
+    place_block: Callable | None = None
+    dynamic_window: Callable | None = None
+    ring_assign: Callable | None = None
+
+    @property
+    def is_accelerated(self) -> bool:
+        """Whether this backend supplies compiled kernels."""
+        return self.place_block is not None
+
+
+#: Built backends by name (including the resolved ``"auto"`` choice).
+_CACHE: dict[str, KernelBackend] = {}
+#: First failure message per backend name, so an unavailable backend is
+#: probed (and its import/compile cost paid) at most once per process.
+_FAILED: dict[str, str] = {}
+
+
+def _build(name: str) -> KernelBackend:
+    """Construct a backend, raising when it is unavailable."""
+    if name == "numpy":
+        return KernelBackend("numpy")
+    if name == "numba":
+        try:
+            from repro.kernels.numba_backend import build_backend
+        except ImportError as exc:  # pragma: no cover - package damage
+            raise RuntimeError(f"kernel backend 'numba' unavailable: {exc}") from exc
+        return build_backend()
+    if name == "cext":
+        from repro.kernels.cext_backend import build_backend
+
+        return build_backend()
+    raise AssertionError(name)  # pragma: no cover - guarded by get_backend
+
+
+def get_backend(name: str) -> KernelBackend:
+    """Return the named backend, building (and caching) it on first use.
+
+    ``"auto"`` tries the accelerated backends in preference order
+    (``numba`` then ``cext``) and silently falls back to ``numpy`` when
+    none is available.  An explicit name raises: :class:`ValueError`
+    for an unknown name, :class:`RuntimeError` when the backend exists
+    but cannot be loaded (numba not installed, no C compiler, ...).
+    """
+    if name in _CACHE:
+        return _CACHE[name]
+    if name == "auto":
+        for candidate in _AUTO_ORDER:
+            try:
+                backend = get_backend(candidate)
+            except RuntimeError:
+                continue
+            _CACHE["auto"] = backend
+            return backend
+        backend = get_backend("numpy")
+        _CACHE["auto"] = backend
+        return backend
+    if name not in BACKEND_NAMES:
+        valid = ", ".join(BACKEND_NAMES + ("auto",))
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {valid} "
+            "(set via backend= or the REPRO_KERNEL_BACKEND env var)"
+        )
+    if name in _FAILED:
+        raise RuntimeError(_FAILED[name])
+    try:
+        backend = _build(name)
+    except RuntimeError as exc:
+        _FAILED[name] = str(exc)
+        raise
+    _CACHE[name] = backend
+    return backend
+
+
+def resolve_backend(backend: "KernelBackend | str | None" = None) -> KernelBackend:
+    """Resolve the effective backend for one engine call.
+
+    Selection order is **env → kwarg → auto**: a non-empty
+    ``REPRO_KERNEL_BACKEND`` environment variable overrides everything
+    (so one shell export steers every layer, including code that never
+    grew a kwarg), an explicit ``backend`` argument (name or
+    :class:`KernelBackend` instance) comes next, and ``None`` means
+    auto-detection.
+    """
+    env = os.environ.get("REPRO_KERNEL_BACKEND", "").strip()
+    if env:
+        return get_backend(env)
+    if isinstance(backend, KernelBackend):
+        return backend
+    return get_backend(backend if backend is not None else "auto")
+
+
+def default_backend() -> KernelBackend:
+    """The backend implied by the environment alone (no kwarg).
+
+    Used by call sites without a ``backend=`` kwarg of their own —
+    notably :meth:`repro.core.ring.RingSpace.assign`, which sits below
+    the engines.  Equivalent to ``resolve_backend(None)``.
+    """
+    return resolve_backend(None)
+
+
+def available_backends() -> dict[str, bool]:
+    """Availability of every registered backend name, without raising.
+
+    Probing an accelerated backend may import numba or compile the C
+    library on first call; failures are cached, so this is cheap to
+    call repeatedly.
+    """
+    out = {}
+    for name in BACKEND_NAMES:
+        try:
+            get_backend(name)
+        except RuntimeError:
+            out[name] = False
+        else:
+            out[name] = True
+    return out
+
+
+def _reset() -> None:
+    """Drop all cached backends and failures (test hook)."""
+    _CACHE.clear()
+    _FAILED.clear()

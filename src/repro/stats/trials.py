@@ -177,7 +177,9 @@ def auto_cell_engine(n: int, trials: int, n_jobs: int | None = 1) -> str:
     return auto_engine(n)
 
 
-def _run_cell_fused(spec: CellSpec, trials: int, seed, *, profile: bool):
+def _run_cell_fused(
+    spec: CellSpec, trials: int, seed, *, profile: bool, backend=None
+):
     """All trials of a cell through the trial-fused engine.
 
     Per-trial RNG consumption is identical to
@@ -185,7 +187,9 @@ def _run_cell_fused(spec: CellSpec, trials: int, seed, *, profile: bool):
     server placement, then the item choices, so results are
     bit-identical to the per-trial paths.  Trials are processed in
     memory-bounded fusion chunks (:func:`fused_trial_chunk`), which
-    never changes results.
+    never changes results.  ``backend`` is forwarded to
+    :func:`~repro.core.multitrial.run_fused` (kernel backend selection;
+    results are backend-independent).
     """
     seeds = spawn_seed_sequences(seed, trials)
     chunk = fused_trial_chunk(spec.n, spec.balls, spec.d)
@@ -201,6 +205,7 @@ def _run_cell_fused(spec: CellSpec, trials: int, seed, *, profile: bool):
             strategy,
             rngs,
             partitioned=spec.partitioned,
+            backend=backend,
         )
         if profile:
             out.extend(nu_profile(row) for row in loads)
@@ -224,6 +229,7 @@ def run_cell_profile(
     *,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    backend=None,
 ) -> np.ndarray:
     """Mean ν-profile over trials (padded to the longest observed).
 
@@ -241,7 +247,9 @@ def run_cell_profile(
     trials = check_positive_int(trials, "trials")
     resolved = _resolve_cell_engine(engine, spec.n, trials, n_jobs)
     if resolved == "fused":
-        profiles = _run_cell_fused(spec, trials, seed, profile=True)
+        profiles = _run_cell_fused(
+            spec, trials, seed, profile=True, backend=backend
+        )
     elif resolved == "process":
         profiles = run_trial_map(
             simulate_nu_profile, spec, trials, seed, n_jobs=n_jobs
@@ -298,6 +306,7 @@ def run_cell(
     *,
     n_jobs: int | None = 1,
     engine: str = "auto",
+    backend=None,
 ) -> MaxLoadDistribution:
     """Run ``trials`` independent trials of a cell.
 
@@ -314,6 +323,13 @@ def run_cell(
         ``"sequential"``/``"batched"`` (serial loop with that per-run
         engine — the pre-fusion behavior, kept mostly for
         benchmarking).  Results are independent of this choice.
+    backend:
+        Kernel backend for the fused path
+        (:func:`repro.kernels.resolve_backend`: env var → this kwarg →
+        auto-detect).  The sequential/batched/process paths honour the
+        ``REPRO_KERNEL_BACKEND`` env var instead (the kwarg does not
+        cross process boundaries).  Results are independent of this
+        choice.
 
     Examples
     --------
@@ -324,7 +340,9 @@ def run_cell(
     trials = check_positive_int(trials, "trials")
     resolved = _resolve_cell_engine(engine, spec.n, trials, n_jobs)
     if resolved == "fused":
-        maxima = _run_cell_fused(spec, trials, seed, profile=False)
+        maxima = _run_cell_fused(
+            spec, trials, seed, profile=False, backend=backend
+        )
     elif resolved == "process":
         maxima = run_trial_map(simulate_max_load, spec, trials, seed, n_jobs=n_jobs)
     else:

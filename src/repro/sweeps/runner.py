@@ -118,24 +118,31 @@ def submit_cell(
     n_jobs: int | None = 1,
     engine: str = "auto",
     cache: CacheLike = "auto",
+    backend=None,
 ) -> MaxLoadDistribution:
     """Cached drop-in for :func:`repro.stats.trials.run_cell`.
 
     On a cache hit the stored counts are returned without simulating;
-    on a miss the cell is computed via ``run_cell`` (same ``n_jobs``
-    and ``engine`` semantics, bit-identical results) and stored.
-    ``seed=None`` or a disabled cache falls through to plain
-    ``run_cell``.
+    on a miss the cell is computed via ``run_cell`` (same ``n_jobs``,
+    ``engine`` and kernel-``backend`` semantics, bit-identical
+    results) and stored.  ``backend`` is deliberately absent from the
+    cache key: backends are bit-identical by contract, so a hit from
+    one backend is valid for all.  ``seed=None`` or a disabled cache
+    falls through to plain ``run_cell``.
     """
     store = resolve_cache(cache)
     cache_seed = _cacheable_seed(seed)
     if store is None or cache_seed is None:
-        return run_cell(spec, trials, seed, n_jobs=n_jobs, engine=engine)
+        return run_cell(
+            spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend
+        )
     spec_d = cell_spec_dict(spec, trials, cache_seed)
     entry = store.get(spec_d)
     if entry is not None:
         return _dist_from_payload(entry["payload"], spec=spec)
-    dist = run_cell(spec, trials, seed, n_jobs=n_jobs, engine=engine)
+    dist = run_cell(
+        spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend
+    )
     store.put(spec_d, _counts_payload(dist))
     return dist
 
@@ -148,21 +155,28 @@ def submit_profile(
     n_jobs: int | None = 1,
     engine: str = "auto",
     cache: CacheLike = "auto",
+    backend=None,
 ) -> np.ndarray:
     """Cached drop-in for :func:`repro.stats.trials.run_cell_profile`.
 
     The mean ν-profile (a float array) is stored as an NPZ payload next
-    to the JSON entry — the cache's array path.
+    to the JSON entry — the cache's array path.  As in
+    :func:`submit_cell`, ``backend`` selects the kernel backend on a
+    miss and is not part of the cache key.
     """
     store = resolve_cache(cache)
     cache_seed = _cacheable_seed(seed)
     if store is None or cache_seed is None:
-        return run_cell_profile(spec, trials, seed, n_jobs=n_jobs, engine=engine)
+        return run_cell_profile(
+            spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend
+        )
     spec_d = cell_spec_dict(spec, trials, cache_seed, kind="cell_profile")
     entry = store.get(spec_d)
     if entry is not None and "profile" in entry["arrays"]:
         return entry["arrays"]["profile"]
-    profile = run_cell_profile(spec, trials, seed, n_jobs=n_jobs, engine=engine)
+    profile = run_cell_profile(
+        spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend
+    )
     store.put(spec_d, {"trials": trials}, arrays={"profile": profile})
     return profile
 

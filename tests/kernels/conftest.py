@@ -1,0 +1,28 @@
+"""Fixtures for the kernel-backend suite.
+
+The registry caches built backends and resolves the
+``REPRO_KERNEL_BACKEND`` env var on every call, so these tests (a) run
+with the variable unset — a CI leg that pins a backend globally must
+not leak into tests exercising kwarg/auto selection — and (b) reset
+the registry cache around tests that monkeypatch backend builders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernels
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_env(monkeypatch):
+    """Unpin the env var: these tests control selection explicitly."""
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+
+
+@pytest.fixture
+def reset_registry():
+    """Clear the backend build cache before and after the test."""
+    kernels._reset()
+    yield
+    kernels._reset()

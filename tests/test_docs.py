@@ -61,8 +61,9 @@ class TestCheckerBites:
         assert not any("_private" in p for p in problems)
 
     def test_detects_undocumented_public_method(self, tmp_path):
+        for package in check_docs.DOCSTRING_PACKAGES:
+            (tmp_path / package).mkdir(parents=True)
         pkg = tmp_path / "src" / "repro" / "sweeps"
-        pkg.mkdir(parents=True)
         (pkg / "mod.py").write_text(
             '"""Mod."""\n\n\nclass Thing:\n    """Doc."""\n\n'
             "    def act(self):\n        pass\n"

@@ -8,7 +8,8 @@ Two independent checks, both stdlib-only so they run anywhere:
    ``mailto:`` and pure-anchor links are skipped; ``#fragment``
    suffixes are stripped before the existence check).
 2. **Docstring coverage** — every module, public class, and public
-   function/method in the ``repro.sweeps`` public API must carry a
+   function/method in the :data:`DOCSTRING_PACKAGES` public APIs
+   (currently ``repro.sweeps`` and ``repro.kernels``) must carry a
    docstring (the pydocstyle D1xx family, implemented via ``ast`` so
    no third-party dependency is needed).
 
@@ -29,7 +30,7 @@ from pathlib import Path
 MARKDOWN_ROOTS = (".", "docs")
 
 #: Packages whose public API must be fully docstringed.
-DOCSTRING_PACKAGES = ("src/repro/sweeps",)
+DOCSTRING_PACKAGES = ("src/repro/sweeps", "src/repro/kernels")
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:", re.IGNORECASE)
@@ -136,7 +137,8 @@ def main(argv=None) -> int:
     if problems:
         print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
         return 1
-    print("check_docs: markdown links ok, repro.sweeps docstrings ok")
+    packages = ", ".join(p.rsplit("/", 1)[-1] for p in DOCSTRING_PACKAGES)
+    print(f"check_docs: markdown links ok, docstrings ok ({packages})")
     return 0
 
 
