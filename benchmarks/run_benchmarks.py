@@ -56,6 +56,7 @@ from repro.core.multitrial import fused_trial_chunk, run_fused
 from repro.core.ring import RingSpace
 from repro.core.strategies import TieBreak
 from repro.kernels import available_backends
+from repro.obs.manifest import run_manifest
 
 D = 2
 STRATEGY = TieBreak.RANDOM
@@ -259,6 +260,7 @@ def main(argv=None) -> int:
             "pinned; 'engines' rows are pure numpy."
         ),
         "unix_time": int(time.time()),
+        "manifest": run_manifest(),
         "cells": results,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -31,6 +31,7 @@ from pathlib import Path
 
 from repro._version import __version__
 from repro.experiments.table1 import run as run_table1
+from repro.obs.manifest import run_manifest
 from repro.sweeps import ResultCache, SweepGrid, run_sweep
 
 FULL_TABLE1 = dict(trials=50, n_values=(1 << 12, 1 << 14))
@@ -130,6 +131,7 @@ def main(argv=None) -> int:
         "version": __version__,
         "mode": "fast" if args.fast else "full",
         "unix_time": int(time.time()),
+        "manifest": run_manifest(),
         "cells": results,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

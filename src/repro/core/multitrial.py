@@ -47,6 +47,7 @@ per-trial results are **bit-identical** to
 from __future__ import annotations
 
 import math
+import time
 from typing import Sequence
 
 import numpy as np
@@ -60,6 +61,9 @@ from repro.core.strategies import (
     strategy_needs_measures,
 )
 from repro.kernels import STRATEGY_CODES, KernelBackend, resolve_backend
+from repro.obs import add_span, counter_add
+from repro.obs import enabled as obs_enabled
+from repro.obs import trace_span
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
 __all__ = ["run_fused", "auto_fused_batch_size", "fused_trial_chunk"]
@@ -135,12 +139,24 @@ def _run_fused_kernel(
     needs_measures = strategy_needs_measures(strategy)
     loads = np.zeros((t, n), dtype=np.int64)
     heights = np.zeros((t, m), dtype=np.int64) if record_heights else None
+    _obs = obs_enabled()
+    rng_s = kernel_s = 0.0
     for k, (space, rng) in enumerate(zip(spaces, rngs)):
         measures = space.region_measures() if needs_measures else None
         pos = 0
-        for bins, us in choice_blocks(
+        blocks = choice_blocks(
             space, rng, m, d, partitioned=partitioned, rng_block=rng_block
-        ):
+        )
+        while True:
+            if _obs:
+                t0 = time.perf_counter()
+            try:
+                bins, us = next(blocks)
+            except StopIteration:
+                break
+            if _obs:
+                t1 = time.perf_counter()
+                rng_s += t1 - t0
             b = bins.shape[0]
             backend.place_block(
                 bins,
@@ -150,7 +166,12 @@ def _run_fused_kernel(
                 code,
                 heights[k, pos : pos + b] if heights is not None else None,
             )
+            if _obs:
+                kernel_s += time.perf_counter() - t1
             pos += b
+    if _obs:
+        add_span("run_fused.rng", rng_s)
+        add_span("run_fused.kernel", kernel_s)
     return loads, heights
 
 
@@ -214,18 +235,67 @@ def run_fused(
     d = check_positive_int(d, "d")
     strategy = TieBreak.coerce(strategy)
     backend_obj = resolve_backend(backend)
-    if backend_obj.place_block is not None:
-        return _run_fused_kernel(
+    with trace_span(
+        "run_fused",
+        n=n,
+        d=d,
+        trials=t,
+        m=m,
+        backend=backend_obj.name,
+        strategy=strategy.value,
+    ):
+        counter_add("placement.balls", t * m)
+        counter_add("placement.trials", t)
+        if backend_obj.place_block is not None:
+            return _run_fused_kernel(
+                spaces,
+                m,
+                d,
+                strategy,
+                rngs,
+                backend_obj,
+                partitioned=partitioned,
+                rng_block=rng_block,
+                record_heights=record_heights,
+            )
+        return _run_fused_numpy(
             spaces,
             m,
             d,
             strategy,
             rngs,
-            backend_obj,
             partitioned=partitioned,
             rng_block=rng_block,
+            batch_size=batch_size,
             record_heights=record_heights,
         )
+
+
+def _run_fused_numpy(
+    spaces: Sequence[GeometricSpace],
+    m: int,
+    d: int,
+    strategy: TieBreak,
+    rngs: Sequence[np.random.Generator],
+    *,
+    partitioned: bool,
+    rng_block: int,
+    batch_size: int | None,
+    record_heights: bool,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """The vectorized optimistic-chunk reference path of :func:`run_fused`.
+
+    Arguments are pre-validated by the facade.  When observability is
+    on, the three hot phases are timed into ``run_fused.rng``
+    (candidate-block generation), ``run_fused.interleave`` and
+    ``run_fused.decide`` spans, scalar conflict repair into
+    ``run_fused.repair``, and every flagged row bumps the
+    ``placement.conflict_rows`` counter — the data behind the
+    optimistic-chunk tuning story.  Disabled, the only extra work per
+    chunk is a handful of bool checks.
+    """
+    t = len(spaces)
+    n = spaces[0].n
     if batch_size is None:
         batch_size = auto_fused_batch_size(n, d, t)
     batch_size = check_positive_int(batch_size, "batch_size")
@@ -263,9 +333,18 @@ def run_fused(
         for s, rng in zip(spaces, rngs)
     ]
 
+    _obs = obs_enabled()
+    rng_s = interleave_s = decide_s = repair_s = 0.0
+    chunks = conflict_rows = 0
+
     ball_base = 0
     while ball_base < m:
+        if _obs:
+            t0 = time.perf_counter()
         blocks = [next(it) for it in iters]
+        if _obs:
+            t1 = time.perf_counter()
+            rng_s += t1 - t0
         b = blocks[0][0].shape[0]
         # round-robin interleave: fused row t·T + k is ball t of trial
         # k.  Done in ball tiles so the strided destination stays
@@ -281,10 +360,15 @@ def run_fused(
                 dst_u[:, k] = u_k[s0:s1]
         fused_bins = bins3.reshape(b * t * d)
         fused_u = u2.reshape(b * t)
+        if _obs:
+            interleave_s += time.perf_counter() - t1
 
         block_len = b * t
         pos = 0
         while pos < block_len:
+            if _obs:
+                t2 = time.perf_counter()
+                chunks += 1
             end = min(pos + batch_size, block_len)
             w = end - pos
             wd = w * d
@@ -309,11 +393,17 @@ def run_fused(
                 heights[f % t, ball_base + f // t] = cand_loads.min(axis=1) + 1
             if hits.size == 0:
                 state[chosen, 0] += 1
+                if _obs:
+                    decide_s += time.perf_counter() - t2
             else:
                 flagged = np.unique(hits // d)
                 keep = np.ones(w, dtype=bool)
                 keep[flagged] = False
                 state[chosen[keep], 0] += 1
+                if _obs:
+                    conflict_rows += int(flagged.size)
+                    t3 = time.perf_counter()
+                    decide_s += t3 - t2
                 # Scalar repair, in row order.  The pure-python kernel
                 # is deliberate: per single row it measures ~9x faster
                 # than the numpy decide_row (no ufunc dispatch), and
@@ -334,8 +424,17 @@ def run_fused(
                             int(state[chosen_r, 0]) + 1
                         )
                     state[chosen_r, 0] += 1
+                if _obs:
+                    repair_s += time.perf_counter() - t3
             pos = end
         ball_base += b
 
+    if _obs:
+        add_span("run_fused.rng", rng_s)
+        add_span("run_fused.interleave", interleave_s)
+        add_span("run_fused.decide", decide_s, chunks=chunks)
+        add_span("run_fused.repair", repair_s, conflict_rows=conflict_rows)
+        counter_add("placement.chunks", chunks)
+        counter_add("placement.conflict_rows", conflict_rows)
     loads = state[:, 0].astype(np.int64).reshape(t, n)
     return loads, heights

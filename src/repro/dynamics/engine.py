@@ -63,6 +63,8 @@ from repro.core.strategies import (
 from repro.dynamics.events import EventKind, EventTrace
 from repro.dynamics.result import DynamicResult
 from repro.kernels import STRATEGY_CODES, KernelBackend, resolve_backend
+from repro.obs import counter_add, histogram_observe, obs_session, trace_span
+from repro.obs import enabled as obs_enabled
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_positive_int
 
@@ -362,6 +364,9 @@ def _run_event_window(
     vectorization below is used.
     """
     if backend is not None and backend.dynamic_window is not None:
+        if obs_enabled():
+            counter_add("dynamics.kernel_windows")
+            histogram_observe("dynamics.window_events", stop - start)
         ins, dels = backend.dynamic_window(
             kinds,
             args,
@@ -380,6 +385,7 @@ def _run_event_window(
         state.deletes_done += dels
         return
     d = state.d
+    _obs = obs_enabled()
     i = start
     while i < stop:
         end = min(i + batch_size, stop)
@@ -394,6 +400,10 @@ def _run_event_window(
         if not is_insert.all():
             touched[~is_insert] = state.ball_bin[aw[~is_insert], None]
         prefix = mixed_conflict_prefix(touched, is_insert)
+        if _obs:
+            # the mixed-event vectorization's effectiveness in one number:
+            # how many events each conflict-free prefix actually covered
+            histogram_observe("dynamics.window_events", prefix)
         # --- apply the conflict-free prefix from the current loads ---
         p_ins = is_insert[:prefix]
         ins_ids = aw[:prefix][p_ins]
@@ -417,6 +427,8 @@ def _run_event_window(
         if prefix < b:
             # the event at `i` reads a bin the prefix touched: its
             # decision needs the updated loads, so step it scalar
+            if _obs:
+                counter_add("dynamics.scalar_steps")
             if is_insert[prefix]:
                 state.apply_insert(int(aw[prefix]))
             else:
@@ -501,12 +513,20 @@ def simulate_dynamics(
     partitioned: bool = False,
     record_loads: bool = False,
     backend: KernelBackend | str | None = None,
+    obs: bool | None = None,
 ) -> DynamicResult:
     """Replay a dynamic workload on a space — the dynamics facade.
 
     The dynamic counterpart of :func:`repro.core.placement.place_balls`:
     same seed handling, same engine auto-selection, same guarantee that
     the engine choice never changes the result.
+
+    ``obs`` scopes the observability switch for this call
+    (:func:`repro.obs.obs_session`): ``True`` traces a
+    ``simulate_dynamics`` span (with window-size histograms and event
+    counters underneath), ``False`` silences an otherwise-enabled
+    process, ``None`` (default) follows the global/env switch.
+    Observability never changes results.
 
     ``backend`` selects the kernel backend
     (:func:`repro.kernels.resolve_backend`: env var → this kwarg →
@@ -529,38 +549,52 @@ def simulate_dynamics(
     >>> res.peak_max_load <= 8
     True
     """
-    strat = TieBreak.coerce(strategy)
-    rng = resolve_rng(seed)
-    backend_obj = resolve_backend(backend)
-    if engine == "auto":
-        if backend_obj.dynamic_window is not None:
-            engine = "batched"
-        else:
-            engine = _static_auto_engine(space.n)
-    if engine == "sequential":
-        return run_sequential_dynamic(
-            space,
-            trace,
-            d,
-            strat,
-            rng,
-            partitioned=partitioned,
-            rng_block=rng_block,
-            record_loads=record_loads,
-        )
-    if engine == "batched":
-        return run_batched_dynamic(
-            space,
-            trace,
-            d,
-            strat,
-            rng,
-            partitioned=partitioned,
-            rng_block=rng_block,
-            batch_size=batch_size,
-            record_loads=record_loads,
-            backend=backend_obj,
-        )
-    raise ValueError(
-        f"engine must be 'auto', 'sequential' or 'batched', got {engine!r}"
-    )
+    with obs_session(obs):
+        if not isinstance(trace, EventTrace):
+            raise TypeError(
+                f"trace must be an EventTrace, got {type(trace).__name__}"
+            )
+        strat = TieBreak.coerce(strategy)
+        rng = resolve_rng(seed)
+        backend_obj = resolve_backend(backend)
+        if engine == "auto":
+            if backend_obj.dynamic_window is not None:
+                engine = "batched"
+            else:
+                engine = _static_auto_engine(space.n)
+        if engine not in ("sequential", "batched"):
+            raise ValueError(
+                f"engine must be 'auto', 'sequential' or 'batched', got {engine!r}"
+            )
+        with trace_span(
+            "simulate_dynamics",
+            engine=engine,
+            backend=backend_obj.name,
+            events=trace.num_events,
+            n=space.n,
+            d=d,
+        ):
+            counter_add("dynamics.events", trace.num_events)
+            if engine == "sequential":
+                return run_sequential_dynamic(
+                    space,
+                    trace,
+                    d,
+                    strat,
+                    rng,
+                    partitioned=partitioned,
+                    rng_block=rng_block,
+                    record_loads=record_loads,
+                )
+            return run_batched_dynamic(
+                space,
+                trace,
+                d,
+                strat,
+                rng,
+                partitioned=partitioned,
+                rng_block=rng_block,
+                batch_size=batch_size,
+                record_loads=record_loads,
+                backend=backend_obj,
+            )

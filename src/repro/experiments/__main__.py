@@ -20,6 +20,11 @@ Sharded, cached parameter sweeps (see ``docs/sweeps.md``)::
 
     python -m repro.experiments sweep run n=256,4096 d=1,2 --trials 50
 
+Aggregate observability traces from a ``REPRO_OBS=1`` run into a
+per-phase time breakdown (see ``docs/observability.md``)::
+
+    python -m repro.experiments obs report
+
 List everything::
 
     python -m repro.experiments --list
@@ -95,7 +100,9 @@ def main(argv=None) -> int:
     argv:
         Argument list (defaults to ``sys.argv[1:]``).  A leading
         ``sweep`` token delegates everything after it to the sweep
-        subcommand (:func:`repro.sweeps.cli.main`).
+        subcommand (:func:`repro.sweeps.cli.main`); a leading ``obs``
+        token to the observability subcommand
+        (:func:`repro.obs.cli.main`).
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -103,6 +110,10 @@ def main(argv=None) -> int:
         from repro.sweeps.cli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.name:
         print("available experiments:")
@@ -110,6 +121,7 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print("  all            (run everything, writing files to --out)")
         print("  sweep          (cached parameter sweeps; sweep --help)")
+        print("  obs            (trace aggregation; obs --help)")
         return 0
     cache = "off" if args.no_cache else (args.cache or "auto")
     if args.name == "all":

@@ -44,8 +44,16 @@ environment variable, then the ``backend=`` kwarg threaded through
 :func:`repro.core.multitrial.run_fused`, then auto-detection
 (``numba`` if importable, else ``cext`` if a C compiler is found, else
 ``numpy``).  The env var lets CI force a backend through every code
-path; auto-detection degrades gracefully and silently — no warning
-spam when accelerators are absent.
+path; auto-detection degrades gracefully — when every accelerated
+backend is unavailable it falls back to ``numpy`` with a **one-time**
+``logging`` warning naming what failed (plus a
+``kernels.auto_fallback`` obs counter), so a machine silently running
+5x slower than it could is visible without being spammy.
+
+Observability: every :func:`resolve_backend` call bumps the
+``kernels.backend_selected{name=...}`` counter (a no-op unless
+``REPRO_OBS`` is on — see :mod:`repro.obs`), which is how trace
+reports attribute throughput to the backend that actually ran.
 
 All backends are interchangeable **bit-for-bit**: the parity suite
 (``tests/kernels``) checks identical placements, per-epoch dynamic
@@ -55,9 +63,14 @@ every backend that is available.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
 from typing import Callable
+
+from repro.obs.metrics import counter_add
+
+_log = logging.getLogger(__name__)
 
 __all__ = [
     "KernelBackend",
@@ -126,6 +139,8 @@ _CACHE: dict[str, KernelBackend] = {}
 #: First failure message per backend name, so an unavailable backend is
 #: probed (and its import/compile cost paid) at most once per process.
 _FAILED: dict[str, str] = {}
+#: Whether the one-time auto-fallback warning fired in this process.
+_WARNED_FALLBACK = False
 
 
 def _build(name: str) -> KernelBackend:
@@ -149,11 +164,14 @@ def get_backend(name: str) -> KernelBackend:
     """Return the named backend, building (and caching) it on first use.
 
     ``"auto"`` tries the accelerated backends in preference order
-    (``numba`` then ``cext``) and silently falls back to ``numpy`` when
-    none is available.  An explicit name raises: :class:`ValueError`
-    for an unknown name, :class:`RuntimeError` when the backend exists
-    but cannot be loaded (numba not installed, no C compiler, ...).
+    (``numba`` then ``cext``) and falls back to ``numpy`` when none is
+    available, logging a one-time warning (and bumping the
+    ``kernels.auto_fallback`` obs counter) so the degradation is never
+    silent.  An explicit name raises: :class:`ValueError` for an
+    unknown name, :class:`RuntimeError` when the backend exists but
+    cannot be loaded (numba not installed, no C compiler, ...).
     """
+    global _WARNED_FALLBACK
     if name in _CACHE:
         return _CACHE[name]
     if name == "auto":
@@ -166,6 +184,19 @@ def get_backend(name: str) -> KernelBackend:
             return backend
         backend = get_backend("numpy")
         _CACHE["auto"] = backend
+        counter_add("kernels.auto_fallback")
+        if not _WARNED_FALLBACK:
+            _WARNED_FALLBACK = True
+            reasons = "; ".join(
+                f"{cand}: {_FAILED.get(cand, 'unavailable')}" for cand in _AUTO_ORDER
+            )
+            _log.warning(
+                "kernel backend auto-detection fell back to the numpy "
+                "reference — accelerated backends unavailable (%s); install "
+                "the [fast] extra or a C toolchain for 5x+ placement "
+                "throughput",
+                reasons,
+            )
         return backend
     if name not in BACKEND_NAMES:
         valid = ", ".join(BACKEND_NAMES + ("auto",))
@@ -196,10 +227,13 @@ def resolve_backend(backend: "KernelBackend | str | None" = None) -> KernelBacke
     """
     env = os.environ.get("REPRO_KERNEL_BACKEND", "").strip()
     if env:
-        return get_backend(env)
-    if isinstance(backend, KernelBackend):
-        return backend
-    return get_backend(backend if backend is not None else "auto")
+        resolved = get_backend(env)
+    elif isinstance(backend, KernelBackend):
+        resolved = backend
+    else:
+        resolved = get_backend(backend if backend is not None else "auto")
+    counter_add("kernels.backend_selected", backend=resolved.name)
+    return resolved
 
 
 def default_backend() -> KernelBackend:
@@ -231,6 +265,8 @@ def available_backends() -> dict[str, bool]:
 
 
 def _reset() -> None:
-    """Drop all cached backends and failures (test hook)."""
+    """Drop all cached backends, failures and warnings (test hook)."""
+    global _WARNED_FALLBACK
     _CACHE.clear()
     _FAILED.clear()
+    _WARNED_FALLBACK = False

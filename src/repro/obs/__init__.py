@@ -1,0 +1,127 @@
+"""``repro.obs``: structured tracing, metrics, and run manifests.
+
+The observability layer the perf-critical tiers report into — cheap
+always-on counters, opt-in span tracing, and reproducible run
+manifests — so backend auto-selection, cache hit rates, fused-engine
+conflict repair, and sweep progress surface in data instead of
+anecdotes.
+
+Three pieces (see ``docs/observability.md`` for the full catalog):
+
+:mod:`repro.obs.metrics`
+    Counters/gauges/histograms with a no-op fast path; the global
+    on/off switch (``REPRO_OBS=1`` or :func:`configure` /
+    :func:`obs_session`).
+:mod:`repro.obs.tracing`
+    Nested :func:`trace_span` phase timings, auto-flushed as JSONL
+    trace files (plus a run manifest) into ``REPRO_OBS_DIR`` when
+    enabled via the environment.
+:mod:`repro.obs.manifest`
+    :func:`run_manifest` — deterministic attribution (git rev,
+    versions, kernel backend, ``REPRO_*`` env) embedded in benchmark
+    emitters and written next to sweep artifacts.
+
+**Invariant:** observability never changes results.  Instrumented code
+paths only read clocks and bump counters; the ``tests/obs`` identity
+suite and a CI leg assert bit-identical loads with ``REPRO_OBS=1``
+versus a disabled run.
+
+Usage::
+
+    REPRO_OBS=1 python -m repro.experiments table1     # traces under .repro-obs/
+    python -m repro.experiments obs report             # per-phase breakdown
+
+or programmatically::
+
+    from repro import obs
+    with obs.obs_session(True):
+        run_cell(spec, trials=100, seed=0)
+    spans = obs.drain_spans()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.manifest import git_revision, run_manifest, write_manifest
+from repro.obs.metrics import (
+    counter_add,
+    enabled,
+    gauge_set,
+    histogram_observe,
+    metric_key,
+    reset_metrics,
+    set_enabled,
+    snapshot,
+)
+from repro.obs.tracing import (
+    add_span,
+    drain_spans,
+    set_trace_dir,
+    trace_dir,
+    trace_span,
+    write_trace,
+)
+
+__all__ = [
+    "add_span",
+    "configure",
+    "counter_add",
+    "drain_spans",
+    "enabled",
+    "gauge_set",
+    "git_revision",
+    "histogram_observe",
+    "metric_key",
+    "obs_session",
+    "reset_metrics",
+    "run_manifest",
+    "set_enabled",
+    "set_trace_dir",
+    "snapshot",
+    "trace_dir",
+    "trace_span",
+    "write_manifest",
+    "write_trace",
+]
+
+
+def configure(enabled: bool | None = None, trace_dir=None) -> None:
+    """Programmatic switchboard: flip the global state in one call.
+
+    ``enabled`` toggles metrics + tracing; ``trace_dir`` points the
+    auto-flusher at a directory (pass ``None`` positionally via
+    :func:`set_trace_dir` to disable flushing — here ``None`` means
+    "leave unchanged", matching ``enabled``).
+    """
+    if enabled is not None:
+        set_enabled(enabled)
+    if trace_dir is not None:
+        set_trace_dir(trace_dir)
+
+
+@contextmanager
+def obs_session(obs: bool | None = None):
+    """Scope the observability switch for one engine call.
+
+    This is the ``obs=`` kwarg accepted by
+    :func:`repro.stats.trials.run_cell`,
+    :func:`repro.dynamics.engine.simulate_dynamics` and
+    :func:`repro.sweeps.runner.run_sweep`:
+
+    * ``None`` — leave the global state alone (the environment/default
+      path; zero overhead);
+    * ``True`` — enable for the duration, restoring the prior state on
+      exit;
+    * ``False`` — force-disable for the duration (e.g. to keep one
+      noisy call out of an otherwise-traced run).
+    """
+    if obs is None:
+        yield
+        return
+    previous = enabled()
+    set_enabled(obs)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -1,0 +1,226 @@
+"""Trace aggregation and sweep-progress math behind ``obs report``.
+
+Pure functions over the JSONL records the tracer writes — no engine
+imports, so both the ``obs report`` CLI and the ``sweep status``
+subcommand (which shares :func:`progress_eta` /
+:func:`format_progress`) stay dependency-light.
+
+The per-phase breakdown works on **self time**: each span's duration
+minus the durations of its direct children, summed per span name.
+Self times of all spans partition the traced wall clock exactly (the
+wall clock being the summed duration of depth-0 spans), so the
+breakdown's percentages add up to 100% of what was traced — the
+acceptance bar is that the traced phases cover ≥90% of the measured
+wall time, which holds by construction whenever the root spans do.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "aggregate_spans",
+    "format_breakdown",
+    "format_progress",
+    "merge_metrics",
+    "progress_eta",
+    "read_trace",
+]
+
+
+def read_trace(paths: "Iterable[Path | str]") -> tuple[list[dict], list[dict]]:
+    """Load trace JSONL files into ``(span_records, metrics_records)``.
+
+    Unparseable lines raise ``ValueError`` naming the file and line —
+    a truncated trace should be loud, not silently half-aggregated.
+    Records of unknown ``type`` are ignored (forward compatibility).
+    """
+    spans: list[dict] = []
+    metrics: list[dict] = []
+    for path in paths:
+        path = Path(path)
+        with path.open(encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: bad trace line: {exc}") from None
+                if record.get("type") == "span":
+                    spans.append(record)
+                elif record.get("type") == "metrics":
+                    metrics.append(record)
+    return spans, metrics
+
+
+def aggregate_spans(spans: Sequence[dict]) -> dict:
+    """Fold span records into a per-name breakdown plus totals.
+
+    Returns ``{"wall_s", "span_count", "phases"}`` where ``phases``
+    maps span name to ``{"count", "total_s", "self_s"}``; ``wall_s``
+    is the summed duration of depth-0 spans and ``self_s`` is total
+    minus direct-children time (clamped at zero against clock jitter).
+
+    Examples
+    --------
+    >>> spans = [
+    ...     {"id": 0, "parent": None, "depth": 0, "name": "run", "dur_s": 2.0},
+    ...     {"id": 1, "parent": 0, "depth": 1, "name": "kernel", "dur_s": 1.5},
+    ... ]
+    >>> agg = aggregate_spans(spans)
+    >>> agg["wall_s"], agg["phases"]["run"]["self_s"]
+    (2.0, 0.5)
+    """
+    child_time: dict[tuple, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            key = (span.get("pid"), parent)
+            child_time[key] = child_time.get(key, 0.0) + span["dur_s"]
+    phases: dict[str, dict] = {}
+    wall = 0.0
+    for span in spans:
+        if span.get("depth") == 0:
+            wall += span["dur_s"]
+        entry = phases.setdefault(
+            span["name"], {"count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += span["dur_s"]
+        entry["self_s"] += max(
+            0.0, span["dur_s"] - child_time.get((span.get("pid"), span.get("id")), 0.0)
+        )
+    return {"wall_s": wall, "span_count": len(spans), "phases": phases}
+
+
+def merge_metrics(records: Sequence[dict]) -> dict:
+    """Combine per-process metrics records into one snapshot.
+
+    Counters within one process are cumulative, so only the **last**
+    record per pid contributes; across pids they sum.  Gauges keep the
+    last value seen, histograms merge their summaries.
+    """
+    last_per_pid: dict = {}
+    for record in records:
+        last_per_pid[record.get("pid")] = record
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for record in last_per_pid.values():
+        for key, value in record.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        gauges.update(record.get("gauges", {}))
+        for key, summ in record.get("histograms", {}).items():
+            into = histograms.get(key)
+            if into is None:
+                histograms[key] = dict(summ)
+            else:
+                into["count"] += summ["count"]
+                into["total"] += summ["total"]
+                into["min"] = min(into["min"], summ["min"])
+                into["max"] = max(into["max"], summ["max"])
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def format_breakdown(aggregate: dict) -> str:
+    """Render :func:`aggregate_spans` output as an aligned text table.
+
+    Phases are sorted by self time, largest first; percentages are of
+    the traced wall clock (depth-0 span time).
+    """
+    wall = aggregate["wall_s"]
+    phases = aggregate["phases"]
+    if not phases:
+        return "(no spans)"
+    rows = sorted(phases.items(), key=lambda kv: -kv[1]["self_s"])
+    width = max(len("phase"), max(len(name) for name in phases))
+    lines = [
+        f"{'phase':<{width}}  {'count':>7}  {'total s':>10}  {'self s':>10}  {'% wall':>7}"
+    ]
+    for name, entry in rows:
+        pct = 100.0 * entry["self_s"] / wall if wall > 0 else 0.0
+        lines.append(
+            f"{name:<{width}}  {entry['count']:>7}  {entry['total_s']:>10.4f}  "
+            f"{entry['self_s']:>10.4f}  {pct:>6.1f}%"
+        )
+    covered = sum(e["self_s"] for e in phases.values())
+    pct = 100.0 * covered / wall if wall > 0 else 0.0
+    lines.append(
+        f"{'(traced wall)':<{width}}  {'':>7}  {wall:>10.4f}  {covered:>10.4f}  {pct:>6.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def progress_eta(done: int, total: int, mtimes: Sequence[float]) -> dict:
+    """Progress + ETA estimate from cache-entry modification times.
+
+    ``mtimes`` are the on-disk timestamps of the ``done`` finished
+    cells (any order).  The rate is estimated from the span of those
+    timestamps — ``(done - 1)`` completions over ``max - min`` seconds
+    — which needs no knowledge of when the sweep started and is robust
+    to warm cells that all share one old timestamp burst.  Returns
+    ``{"done", "total", "remaining", "rate_per_s", "eta_s"}`` with
+    ``None`` rate/ETA when fewer than two samples exist (or when done
+    == total, where the ETA is 0).
+
+    Examples
+    --------
+    >>> out = progress_eta(3, 5, [100.0, 110.0, 120.0])
+    >>> out["remaining"], out["rate_per_s"], out["eta_s"]
+    (2, 0.1, 20.0)
+    """
+    done = int(done)
+    total = int(total)
+    remaining = total - done
+    out: dict = {
+        "done": done,
+        "total": total,
+        "remaining": remaining,
+        "rate_per_s": None,
+        "eta_s": None,
+    }
+    if remaining == 0:
+        out["eta_s"] = 0.0
+    if len(mtimes) >= 2:
+        span = max(mtimes) - min(mtimes)
+        if span > 0:
+            rate = (len(mtimes) - 1) / span
+            out["rate_per_s"] = round(rate, 6)
+            if remaining:
+                out["eta_s"] = round(remaining / rate, 3)
+    return out
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def format_progress(progress: dict, *, hits: int | None = None) -> str:
+    """One status line from :func:`progress_eta` output.
+
+    ``hits`` (cells served warm from the cache, vs computed) adds the
+    hit/miss split the ``sweep status`` subcommand reports.
+    """
+    done, total = progress["done"], progress["total"]
+    pct = 100.0 * done / total if total else 100.0
+    bits = [f"{done}/{total} cells done ({pct:.1f}%)"]
+    if hits is not None:
+        bits.append(f"{hits} warm / {done - hits} computed this run")
+    if progress["eta_s"] is not None:
+        bits.append(
+            "done" if progress["remaining"] == 0
+            else f"ETA {_fmt_seconds(progress['eta_s'])}"
+        )
+        if progress["rate_per_s"]:
+            bits.append(f"{progress['rate_per_s'] * 60:.1f} cells/min")
+    elif progress["remaining"]:
+        bits.append("ETA unknown (need >= 2 finished cells)")
+    return ", ".join(bits)

@@ -1,0 +1,238 @@
+"""Span tracer: nested phase timings emitted as JSONL trace files.
+
+:func:`trace_span` is a context manager threaded through the engines
+(``run_cell`` / ``run_fused`` / ``simulate_dynamics`` / ``run_sweep``).
+When observability is disabled it returns a shared no-op object — no
+allocation, no clock reads — so the instrumentation can stay wired
+through the hot paths permanently.  When enabled, each span records
+
+* its ``name`` and free-form ``attrs``,
+* wall-clock start (``t_wall``, unix seconds) and duration (``dur_s``,
+  from ``perf_counter``),
+* its ``id``, ``parent`` id and nesting ``depth`` (per-thread stack).
+
+Finished spans accumulate in an in-process buffer.  When the outermost
+span of a thread closes and a trace directory is configured (the
+``REPRO_OBS_DIR`` environment variable, or
+:func:`repro.obs.configure`), the buffer is flushed to
+``trace-<pid>.jsonl`` in that directory — one JSON object per line,
+``{"type": "span", ...}`` records followed by one
+``{"type": "metrics", ...}`` snapshot — and a ``manifest-<pid>.json``
+run manifest is written next to it once per process.  Without a trace
+directory the buffer just grows until :func:`drain_spans` or
+:func:`write_trace` collects it (the programmatic/testing mode).
+
+Hot loops that cannot afford a context manager per iteration time
+themselves with raw ``perf_counter`` arithmetic and report the total
+via :func:`add_span` — a pre-measured child span attached to whatever
+span is currently open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "add_span",
+    "drain_spans",
+    "set_trace_dir",
+    "trace_dir",
+    "trace_span",
+    "write_trace",
+]
+
+_lock = threading.Lock()
+_finished: list[dict] = []
+_next_id = 0
+_local = threading.local()
+
+#: Trace output directory (``None`` = buffer only, no auto-flush).
+_trace_dir: Path | None = (
+    Path(os.environ["REPRO_OBS_DIR"])
+    if os.environ.get("REPRO_OBS_DIR", "").strip()
+    else (Path(".repro-obs") if _metrics.enabled() else None)
+)
+
+#: Whether this process already wrote its manifest next to the trace.
+_manifest_written = False
+
+
+def _stack() -> list[int]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def trace_dir() -> Path | None:
+    """The directory traces auto-flush to (``None`` = buffering only)."""
+    return _trace_dir
+
+
+def set_trace_dir(path: "Path | str | None") -> None:
+    """Point auto-flushing at ``path`` (``None`` disables auto-flush)."""
+    global _trace_dir, _manifest_written
+    _trace_dir = None if path is None else Path(path)
+    _manifest_written = False
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        """No-op."""
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """No-op; never swallows exceptions."""
+        return False
+
+
+_NULL = _NullSpan()
+
+
+class _Span:
+    """A live span: records timing on exit and maintains the stack."""
+
+    __slots__ = ("name", "attrs", "id", "parent", "depth", "t_wall", "_t0")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        """Open the span: assign an id and push onto the thread stack."""
+        global _next_id
+        stack = _stack()
+        with _lock:
+            self.id = _next_id
+            _next_id += 1
+        self.parent = stack[-1] if stack else None
+        self.depth = len(stack)
+        stack.append(self.id)
+        self.t_wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        """Close the span: record it and flush if the stack emptied."""
+        dur = time.perf_counter() - self._t0
+        stack = _stack()
+        stack.pop()
+        record = {
+            "type": "span",
+            "id": self.id,
+            "parent": self.parent,
+            "depth": self.depth,
+            "name": self.name,
+            "t_wall": round(self.t_wall, 6),
+            "dur_s": dur,
+            "attrs": self.attrs,
+            "pid": os.getpid(),
+        }
+        with _lock:
+            _finished.append(record)
+        if not stack and _trace_dir is not None:
+            _flush_to_dir()
+        return False
+
+
+def trace_span(name: str, **attrs):
+    """Context manager timing one named phase (no-op when disabled).
+
+    Examples
+    --------
+    >>> from repro.obs import metrics
+    >>> with trace_span("demo", n=4):
+    ...     pass
+    """
+    if not _metrics.enabled():
+        return _NULL
+    return _Span(name, attrs)
+
+
+def add_span(name: str, dur_s: float, **attrs) -> None:
+    """Record a pre-measured span under the currently open span.
+
+    For hot loops that accumulate ``perf_counter`` deltas themselves
+    instead of opening a context manager per iteration.  No-op when
+    observability is disabled.
+    """
+    if not _metrics.enabled():
+        return
+    global _next_id
+    stack = _stack()
+    record = {
+        "type": "span",
+        "id": None,
+        "parent": stack[-1] if stack else None,
+        "depth": len(stack),
+        "name": name,
+        "t_wall": round(time.time(), 6),
+        "dur_s": dur_s,
+        "attrs": attrs,
+        "pid": os.getpid(),
+    }
+    with _lock:
+        record["id"] = _next_id
+        _next_id += 1
+        _finished.append(record)
+
+
+def drain_spans() -> list[dict]:
+    """Return and clear the buffered span records (oldest first)."""
+    with _lock:
+        out = list(_finished)
+        _finished.clear()
+    return out
+
+
+def write_trace(path: "Path | str | None" = None) -> Path:
+    """Flush buffered spans (+ a metrics snapshot) to a JSONL file.
+
+    ``path=None`` appends to ``trace-<pid>.jsonl`` in the configured
+    trace directory (which must then be set).  Returns the file
+    written.  The buffer is cleared; metrics are left accumulating.
+    """
+    if path is None:
+        if _trace_dir is None:
+            raise ValueError("no trace path given and no trace directory configured")
+        path = _trace_dir / f"trace-{os.getpid()}.jsonl"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    spans = drain_spans()
+    records = spans + [
+        {"type": "metrics", "pid": os.getpid(), **_metrics.snapshot()}
+    ]
+    with path.open("a", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def _flush_to_dir() -> None:
+    """Auto-flush on root-span close: trace JSONL + once-per-process manifest."""
+    global _manifest_written
+    write_trace()
+    if not _manifest_written:
+        from repro.obs.manifest import write_manifest
+
+        write_manifest(_trace_dir / f"manifest-{os.getpid()}.json")
+        _manifest_written = True
+
+
+def _reset() -> None:
+    """Drop buffered spans and per-thread stacks (test hook)."""
+    global _next_id
+    with _lock:
+        _finished.clear()
+        _next_id = 0
+    _local.stack = []

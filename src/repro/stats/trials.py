@@ -32,6 +32,7 @@ from repro.core.placement import place_balls
 from repro.core.ring import RingSpace
 from repro.core.strategies import TieBreak
 from repro.core.torus import TorusSpace
+from repro.obs import counter_add, obs_session, trace_span
 from repro.stats.distributions import MaxLoadDistribution
 from repro.utils.rng import spawn_seed_sequences
 from repro.utils.validation import check_positive_int
@@ -230,6 +231,7 @@ def run_cell_profile(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    obs: bool | None = None,
 ) -> np.ndarray:
     """Mean ν-profile over trials (padded to the longest observed).
 
@@ -246,22 +248,26 @@ def run_cell_profile(
     """
     trials = check_positive_int(trials, "trials")
     resolved = _resolve_cell_engine(engine, spec.n, trials, n_jobs)
-    if resolved == "fused":
-        profiles = _run_cell_fused(
-            spec, trials, seed, profile=True, backend=backend
-        )
-    elif resolved == "process":
-        profiles = run_trial_map(
-            simulate_nu_profile, spec, trials, seed, n_jobs=n_jobs
-        )
-    else:
-        seeds = spawn_seed_sequences(seed, trials)
-        profiles = [simulate_nu_profile(spec, ss, resolved) for ss in seeds]
-    depth = max(p.size for p in profiles)
-    acc = np.zeros(depth, dtype=np.float64)
-    for p in profiles:
-        acc[: p.size] += p
-    return acc / trials
+    with obs_session(obs), trace_span(
+        "run_cell_profile", cell=spec.label(), engine=resolved, trials=trials
+    ):
+        counter_add("cell.profile_runs")
+        if resolved == "fused":
+            profiles = _run_cell_fused(
+                spec, trials, seed, profile=True, backend=backend
+            )
+        elif resolved == "process":
+            profiles = run_trial_map(
+                simulate_nu_profile, spec, trials, seed, n_jobs=n_jobs
+            )
+        else:
+            seeds = spawn_seed_sequences(seed, trials)
+            profiles = [simulate_nu_profile(spec, ss, resolved) for ss in seeds]
+        depth = max(p.size for p in profiles)
+        acc = np.zeros(depth, dtype=np.float64)
+        for p in profiles:
+            acc[: p.size] += p
+        return acc / trials
 
 
 def _worker(args):
@@ -307,6 +313,7 @@ def run_cell(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    obs: bool | None = None,
 ) -> MaxLoadDistribution:
     """Run ``trials`` independent trials of a cell.
 
@@ -330,6 +337,13 @@ def run_cell(
         ``REPRO_KERNEL_BACKEND`` env var instead (the kwarg does not
         cross process boundaries).  Results are independent of this
         choice.
+    obs:
+        Observability scope for this call
+        (:func:`repro.obs.obs_session`): ``True`` traces a
+        ``run_cell`` span (engine spans nested underneath) and bumps
+        the cell counters, ``False`` silences an otherwise-enabled
+        process, ``None`` follows the global ``REPRO_OBS`` switch.
+        Never changes results.
 
     Examples
     --------
@@ -339,13 +353,20 @@ def run_cell(
     """
     trials = check_positive_int(trials, "trials")
     resolved = _resolve_cell_engine(engine, spec.n, trials, n_jobs)
-    if resolved == "fused":
-        maxima = _run_cell_fused(
-            spec, trials, seed, profile=False, backend=backend
-        )
-    elif resolved == "process":
-        maxima = run_trial_map(simulate_max_load, spec, trials, seed, n_jobs=n_jobs)
-    else:
-        seeds = spawn_seed_sequences(seed, trials)
-        maxima = [simulate_max_load(spec, ss, resolved) for ss in seeds]
-    return MaxLoadDistribution.from_samples(maxima, spec=spec)
+    with obs_session(obs), trace_span(
+        "run_cell", cell=spec.label(), engine=resolved, trials=trials
+    ):
+        counter_add("cell.runs")
+        counter_add("cell.engine_selected", engine=resolved)
+        if resolved == "fused":
+            maxima = _run_cell_fused(
+                spec, trials, seed, profile=False, backend=backend
+            )
+        elif resolved == "process":
+            maxima = run_trial_map(
+                simulate_max_load, spec, trials, seed, n_jobs=n_jobs
+            )
+        else:
+            seeds = spawn_seed_sequences(seed, trials)
+            maxima = [simulate_max_load(spec, ss, resolved) for ss in seeds]
+        return MaxLoadDistribution.from_samples(maxima, spec=spec)

@@ -32,6 +32,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro._version import __version__
+from repro.obs import counter_add
 
 __all__ = [
     "DEFAULT_SALT",
@@ -118,10 +119,14 @@ class ResultCache:
 
     Attributes
     ----------
-    hits, misses, stores:
+    hits, misses, stores, corrupt:
         Running counters for this instance (``get`` bumps hits/misses,
-        ``put`` bumps stores) — the observability hook the tests and
-        the CLI summary lines use.
+        ``put`` bumps stores; ``corrupt`` counts entries that existed
+        on disk but failed to parse — they *also* count as misses).
+        Mirrored into the process-wide obs metrics
+        (``sweep.cache.hit`` / ``.miss`` / ``.store`` / ``.corrupt``,
+        see :mod:`repro.obs`) so cache behaviour shows up in trace
+        reports without passing the instance around.
     """
 
     def __init__(self, root: str | os.PathLike, *, salt: str = DEFAULT_SALT):
@@ -130,6 +135,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"
@@ -149,6 +155,15 @@ class ResultCache:
         """Entry present on disk?  Does not bump the hit/miss counters."""
         return self._paths(self.key(spec))[0].is_file()
 
+    def path_for(self, spec: Mapping) -> Path:
+        """On-disk JSON path a ``spec`` entry lives at (existing or not).
+
+        The ``sweep status`` subcommand reads the modification times of
+        finished cells' entries through this to estimate progress/ETA
+        without touching the hit/miss counters.
+        """
+        return self._paths(self.key(spec))[0]
+
     # ------------------------------------------------------------------
     # read / write
     # ------------------------------------------------------------------
@@ -164,23 +179,34 @@ class ResultCache:
         key = self.key(spec)
         json_path, npz_path = self._paths(key)
         try:
-            entry = json.loads(json_path.read_text())
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
+            text = json_path.read_text()
+        except OSError:
+            return self._miss()
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            return self._miss(corrupt=True)
         if entry.get("salt") != self.salt or entry.get("spec") != _normalize(spec):
-            self.misses += 1
-            return None
+            return self._miss()
         arrays: dict[str, np.ndarray] = {}
         if entry.get("has_arrays"):
             try:
                 with np.load(npz_path) as npz:
                     arrays = {name: npz[name] for name in npz.files}
             except (OSError, ValueError):
-                self.misses += 1
-                return None
+                return self._miss(corrupt=True)
         self.hits += 1
+        counter_add("sweep.cache.hit")
         return {"payload": entry["payload"], "arrays": arrays}
+
+    def _miss(self, *, corrupt: bool = False) -> None:
+        """Record a miss (optionally a corrupt entry) and return ``None``."""
+        self.misses += 1
+        counter_add("sweep.cache.miss")
+        if corrupt:
+            self.corrupt += 1
+            counter_add("sweep.cache.corrupt")
+        return None
 
     def put(
         self,
@@ -212,6 +238,7 @@ class ResultCache:
             lambda fh: fh.write((canonical_json(entry) + "\n").encode("utf-8")),
         )
         self.stores += 1
+        counter_add("sweep.cache.store")
         return json_path
 
     @staticmethod
@@ -233,8 +260,13 @@ class ResultCache:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> dict:
-        """Counters snapshot: ``{"hits": ..., "misses": ..., "stores": ...}``."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        """Counters snapshot: hits, misses, stores and corrupt entries."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
 
     def entry_count(self) -> int:
         """Number of JSON entries currently on disk."""

@@ -40,6 +40,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.obs import obs_session, trace_span
 from repro.stats.distributions import MaxLoadDistribution
 from repro.stats.trials import CellSpec, run_cell, run_cell_profile
 from repro.sweeps.cache import DEFAULT_SALT, ResultCache, default_cache_dir, spec_key
@@ -233,6 +234,7 @@ def run_sweep(
     engine: str = "auto",
     workers: int | None = 1,
     progress: Callable[[str], None] | None = None,
+    obs: bool | None = None,
 ) -> SweepResult:
     """Execute (one shard of) a grid and return a mergeable result.
 
@@ -258,6 +260,11 @@ def run_sweep(
         one per CPU).  Mutually exclusive with ``n_jobs != 1``.
     progress:
         Optional callable receiving one line per executed cell.
+    obs:
+        Observability scope (:func:`repro.obs.obs_session`): ``True``
+        traces a ``run_sweep`` span with one ``sweep_cell`` span per
+        computed cell, ``False`` force-disables, ``None`` follows the
+        global ``REPRO_OBS`` switch.  Never changes results.
 
     Returns
     -------
@@ -271,51 +278,60 @@ def run_sweep(
     store = resolve_cache(cache)
     say = progress or (lambda line: None)
 
-    records: dict[int, dict] = {}
-    pending: list[tuple[int, SweepCell]] = []
-    hits = 0
-    for pos, cell in enumerate(cells):
-        entry = store.get(cell.spec_dict()) if store is not None else None
-        if entry is not None:
-            records[pos] = _cell_record(cell, _dist_from_payload(entry["payload"]))
-            hits += 1
-            say(f"[cache hit] {cell.label()} trials={cell.trials}")
-        else:
-            pending.append((pos, cell))
+    with obs_session(obs), trace_span(
+        "run_sweep",
+        grid=grid.name,
+        cells=len(cells),
+        shard=f"{shard_index + 1}/{shard_count}",
+    ):
+        records: dict[int, dict] = {}
+        pending: list[tuple[int, SweepCell]] = []
+        hits = 0
+        for pos, cell in enumerate(cells):
+            entry = store.get(cell.spec_dict()) if store is not None else None
+            if entry is not None:
+                records[pos] = _cell_record(cell, _dist_from_payload(entry["payload"]))
+                hits += 1
+                say(f"[cache hit] {cell.label()} trials={cell.trials}")
+            else:
+                pending.append((pos, cell))
 
-    if pending and workers == 1:
-        for pos, cell in pending:
-            dist = run_cell(
-                cell.spec, cell.trials, cell.seed, n_jobs=n_jobs, engine=engine
-            )
-            if store is not None:
-                store.put(cell.spec_dict(), _counts_payload(dist))
-            records[pos] = _cell_record(cell, dist)
-            say(f"[computed]  {cell.label()} trials={cell.trials}")
-    elif pending:
-        pool_size = workers if workers is not None else (os.cpu_count() or 1)
-        check_positive_int(pool_size, "workers")
-        ctx = get_context("fork") if os.name == "posix" else get_context()
-        payload = [(c.spec, c.trials, c.seed, engine) for _, c in pending]
-        with ctx.Pool(min(pool_size, len(pending))) as pool:
-            counts_list = pool.map(_sweep_worker, payload)
-        for (pos, cell), counts in zip(pending, counts_list):
-            dist = _dist_from_payload({"counts": counts})
-            if store is not None:
-                store.put(cell.spec_dict(), {"counts": counts})
-            records[pos] = _cell_record(cell, dist)
-            say(f"[computed]  {cell.label()} trials={cell.trials}")
+        if pending and workers == 1:
+            for pos, cell in pending:
+                with trace_span(
+                    "sweep_cell", cell=cell.label(), trials=cell.trials
+                ):
+                    dist = run_cell(
+                        cell.spec, cell.trials, cell.seed, n_jobs=n_jobs, engine=engine
+                    )
+                    if store is not None:
+                        store.put(cell.spec_dict(), _counts_payload(dist))
+                records[pos] = _cell_record(cell, dist)
+                say(f"[computed]  {cell.label()} trials={cell.trials}")
+        elif pending:
+            pool_size = workers if workers is not None else (os.cpu_count() or 1)
+            check_positive_int(pool_size, "workers")
+            ctx = get_context("fork") if os.name == "posix" else get_context()
+            payload = [(c.spec, c.trials, c.seed, engine) for _, c in pending]
+            with ctx.Pool(min(pool_size, len(pending))) as pool:
+                counts_list = pool.map(_sweep_worker, payload)
+            for (pos, cell), counts in zip(pending, counts_list):
+                dist = _dist_from_payload({"counts": counts})
+                if store is not None:
+                    store.put(cell.spec_dict(), {"counts": counts})
+                records[pos] = _cell_record(cell, dist)
+                say(f"[computed]  {cell.label()} trials={cell.trials}")
 
-    meta = {
-        "hits": hits,
-        "misses": len(pending),
-        "shard_index": shard_index,
-        "shard_count": shard_count,
-        "engine": engine,
-        "cached": store is not None,
-    }
-    return SweepResult(
-        grid=grid.describe(),
-        cells=[records[pos] for pos in range(len(cells))],
-        meta=meta,
-    )
+        meta = {
+            "hits": hits,
+            "misses": len(pending),
+            "shard_index": shard_index,
+            "shard_count": shard_count,
+            "engine": engine,
+            "cached": store is not None,
+        }
+        return SweepResult(
+            grid=grid.describe(),
+            cells=[records[pos] for pos in range(len(cells))],
+            meta=meta,
+        )

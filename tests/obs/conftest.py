@@ -1,0 +1,41 @@
+"""Fixtures for the observability suite.
+
+The obs layer is process-global state (the enabled switch, the metric
+registry, the span buffer, the trace directory), so every test here
+starts from a clean slate and restores whatever it found — other
+suites must never see metrics or spans leaked by these tests, and a
+CI leg running with ``REPRO_OBS=1`` in the environment must not leak
+the opposite way into tests that assume a disabled default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state(monkeypatch):
+    """Disable obs, clear all recorded state, and restore on exit."""
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+    previous_enabled = metrics.enabled()
+    previous_dir = tracing.trace_dir()
+    metrics.set_enabled(False)
+    metrics.reset_metrics()
+    tracing.set_trace_dir(None)
+    tracing._reset()
+    yield
+    metrics.set_enabled(previous_enabled)
+    metrics.reset_metrics()
+    tracing.set_trace_dir(previous_dir)
+    tracing._reset()
+
+
+@pytest.fixture
+def obs_on():
+    """Observability enabled for the duration of the test."""
+    metrics.set_enabled(True)
+    yield
+    metrics.set_enabled(False)

@@ -1,0 +1,81 @@
+"""The obs invariant: instrumentation never changes results.
+
+Every engine entry point that grew an ``obs=`` kwarg is run twice —
+observability force-disabled and force-enabled — and the outputs must
+be bit-identical.  A CI leg re-asserts the same property end-to-end
+with ``REPRO_OBS=1`` in the environment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multitrial import run_fused
+from repro.core.ring import RingSpace
+from repro.core.strategies import TieBreak
+from repro.dynamics import simulate_dynamics, steady_state_trace
+from repro.obs import drain_spans, obs_session, snapshot
+from repro.stats.trials import CellSpec, run_cell
+from repro.sweeps import SweepGrid, run_sweep
+
+
+def test_run_cell_bit_identical():
+    spec = CellSpec("ring", 128, 2)
+    off = run_cell(spec, 12, seed=5, obs=False)
+    on = run_cell(spec, 12, seed=5, obs=True)
+    assert off.counts == on.counts
+    assert len(drain_spans()) > 0  # the enabled run actually traced
+
+
+def test_run_fused_bit_identical():
+    def one_run(obs):
+        spaces = [RingSpace.random(96, seed=3)]
+        rngs = [np.random.default_rng(11)]
+        with obs_session(obs):
+            loads, _ = run_fused(spaces, 192, 2, TieBreak.RANDOM, rngs)
+        return loads
+    off = one_run(False)
+    on = one_run(True)
+    assert np.array_equal(off, on)
+    drain_spans()
+
+
+def test_simulate_dynamics_bit_identical(small_ring):
+    trace = steady_state_trace(80, pairs=40, seed=9)
+    off = simulate_dynamics(small_ring, trace, 2, seed=4, obs=False)
+    on = simulate_dynamics(small_ring, trace, 2, seed=4, obs=True)
+    assert np.array_equal(off.loads, on.loads)
+    assert np.array_equal(off.max_load_over_time, on.max_load_over_time)
+    drain_spans()
+
+
+def test_run_sweep_bit_identical():
+    grid = SweepGrid(n=(64, 128), d=(1, 2), trials=4, name="idgrid")
+    off = run_sweep(grid, cache="off", obs=False)
+    on = run_sweep(grid, cache="off", obs=True)
+    assert off.cells == on.cells
+    spans = drain_spans()
+    names = {s["name"] for s in spans}
+    assert "run_sweep" in names and "sweep_cell" in names
+
+
+def test_obs_session_restores_prior_state():
+    from repro.obs import enabled
+    assert not enabled()
+    with obs_session(True):
+        assert enabled()
+        with obs_session(False):
+            assert not enabled()
+        assert enabled()
+    assert not enabled()
+    drain_spans()
+
+
+def test_instrumented_run_emits_expected_metrics():
+    spec = CellSpec("ring", 128, 2)
+    run_cell(spec, 8, seed=5, obs=True)
+    counters = snapshot()["counters"]
+    assert counters["cell.runs"] == 1
+    assert counters["placement.balls"] == 8 * 128
+    assert any(key.startswith("kernels.backend_selected") for key in counters)
+    drain_spans()

@@ -1,0 +1,60 @@
+"""Run manifests: determinism, field schema, and env capture."""
+
+from __future__ import annotations
+
+import json
+
+from repro._version import __version__
+from repro.kernels import BACKEND_NAMES
+from repro.obs.manifest import run_manifest, write_manifest
+
+REQUIRED_KEYS = {
+    "schema", "package", "version", "git_rev", "python", "numpy",
+    "platform", "machine", "executable", "kernel_backend", "env",
+}
+
+
+class TestRunManifest:
+    def test_required_fields(self):
+        manifest = run_manifest()
+        assert REQUIRED_KEYS <= set(manifest)
+        assert manifest["package"] == "repro"
+        assert manifest["version"] == __version__
+        assert manifest["kernel_backend"] in BACKEND_NAMES + ("unknown",)
+
+    def test_deterministic(self):
+        assert run_manifest() == run_manifest()
+
+    def test_no_volatile_fields(self):
+        """No timestamps/hostnames/pids — manifests must diff clean."""
+        manifest = run_manifest()
+        for key in manifest:
+            assert "time" not in key and "host" not in key and "pid" not in key
+
+    def test_env_captures_repro_vars_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        monkeypatch.setenv("NOT_OURS", "x")
+        env = run_manifest()["env"]
+        assert env["REPRO_KERNEL_BACKEND"] == "numpy"
+        assert all(key.startswith("REPRO_") for key in env)
+
+    def test_extra_merges_and_overrides(self):
+        manifest = run_manifest({"seed": 7, "package": "other"})
+        assert manifest["seed"] == 7
+        assert manifest["package"] == "other"
+
+    def test_json_serializable(self):
+        json.dumps(run_manifest())
+
+
+class TestWriteManifest:
+    def test_round_trip(self, tmp_path):
+        path = write_manifest(tmp_path / "sub" / "manifest.json", {"seed": 3})
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(run_manifest({"seed": 3})))
+
+    def test_byte_identical_rewrites(self, tmp_path):
+        """Same environment -> same bytes: the determinism acceptance."""
+        a = write_manifest(tmp_path / "a.json").read_bytes()
+        b = write_manifest(tmp_path / "b.json").read_bytes()
+        assert a == b

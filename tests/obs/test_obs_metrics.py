@@ -1,0 +1,89 @@
+"""Metric registry semantics: keys, recording, and the disabled no-op."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    counter_add,
+    gauge_set,
+    histogram_observe,
+    metric_key,
+    reset_metrics,
+    snapshot,
+)
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("cache.hit") == "cache.hit"
+
+    def test_labels_sorted(self):
+        assert (
+            metric_key("backend", {"b": 2, "a": 1})
+            == metric_key("backend", {"a": 1, "b": 2})
+            == "backend{a=1,b=2}"
+        )
+
+    def test_empty_labels_same_as_none(self):
+        assert metric_key("x", {}) == "x"
+
+
+class TestDisabledNoOp:
+    def test_nothing_is_recorded(self):
+        counter_add("c")
+        gauge_set("g", 3.0)
+        histogram_observe("h", 1.0)
+        snap = snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_counter_is_cheap(self):
+        """The no-op path is a bool check — bound it generously.
+
+        2e5 disabled calls in well under a second even on a loaded CI
+        box; the real cost is ~100ns/call.  This is the overhead bar
+        that justifies leaving the instrumentation permanently wired
+        through the hot engines.
+        """
+        n = 200_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            counter_add("noop")
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 1.0
+        assert snapshot()["counters"] == {}
+
+
+class TestRecording:
+    def test_counter_accumulates(self, obs_on):
+        counter_add("c")
+        counter_add("c", 2)
+        assert snapshot()["counters"]["c"] == 3
+
+    def test_counter_labels_separate_series(self, obs_on):
+        counter_add("sel", backend="numpy")
+        counter_add("sel", backend="cext")
+        counter_add("sel", backend="cext")
+        counters = snapshot()["counters"]
+        assert counters["sel{backend=numpy}"] == 1
+        assert counters["sel{backend=cext}"] == 2
+
+    def test_gauge_keeps_last_value(self, obs_on):
+        gauge_set("g", 1.0)
+        gauge_set("g", 42.0)
+        assert snapshot()["gauges"]["g"] == 42.0
+
+    def test_histogram_running_summary(self, obs_on):
+        for value in (2.0, 5.0, 3.0):
+            histogram_observe("h", value)
+        h = snapshot()["histograms"]["h"]
+        assert h == {"count": 3, "total": 10.0, "min": 2.0, "max": 5.0}
+
+    def test_reset_clears_everything(self, obs_on):
+        counter_add("c")
+        gauge_set("g", 1.0)
+        histogram_observe("h", 1.0)
+        reset_metrics()
+        assert snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert metrics.enabled()  # the switch survives a reset

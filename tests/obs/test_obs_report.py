@@ -1,0 +1,150 @@
+"""Trace aggregation math and sweep progress/ETA estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.report import (
+    aggregate_spans,
+    format_breakdown,
+    format_progress,
+    merge_metrics,
+    progress_eta,
+    read_trace,
+)
+
+
+def _span(id, parent, depth, name, dur, pid=1):
+    return {"type": "span", "id": id, "parent": parent, "depth": depth,
+            "name": name, "dur_s": dur, "pid": pid, "attrs": {}}
+
+
+class TestAggregateSpans:
+    def test_self_time_subtracts_direct_children(self):
+        spans = [
+            _span(0, None, 0, "run", 2.0),
+            _span(1, 0, 1, "kernel", 1.5),
+            _span(2, 1, 2, "inner", 1.0),
+        ]
+        agg = aggregate_spans(spans)
+        assert agg["wall_s"] == 2.0
+        assert agg["phases"]["run"]["self_s"] == pytest.approx(0.5)
+        assert agg["phases"]["kernel"]["self_s"] == pytest.approx(0.5)
+        assert agg["phases"]["inner"]["self_s"] == pytest.approx(1.0)
+
+    def test_self_times_partition_wall(self):
+        spans = [
+            _span(0, None, 0, "run", 3.0),
+            _span(1, 0, 1, "a", 1.0),
+            _span(2, 0, 1, "b", 1.5),
+        ]
+        agg = aggregate_spans(spans)
+        covered = sum(e["self_s"] for e in agg["phases"].values())
+        assert covered == pytest.approx(agg["wall_s"])
+
+    def test_same_name_accumulates(self):
+        spans = [_span(i, None, 0, "cell", 1.0) for i in range(3)]
+        agg = aggregate_spans(spans)
+        assert agg["phases"]["cell"] == {"count": 3, "total_s": 3.0, "self_s": 3.0}
+        assert agg["wall_s"] == 3.0
+
+    def test_pids_do_not_collide(self):
+        """Same span ids from different processes must not cross-link."""
+        spans = [
+            _span(0, None, 0, "run", 2.0, pid=1),
+            _span(1, 0, 1, "child", 1.0, pid=1),
+            _span(1, None, 0, "other", 4.0, pid=2),  # id collides with pid 1
+        ]
+        agg = aggregate_spans(spans)
+        assert agg["phases"]["other"]["self_s"] == pytest.approx(4.0)
+        assert agg["phases"]["run"]["self_s"] == pytest.approx(1.0)
+
+    def test_negative_self_clamped(self):
+        spans = [
+            _span(0, None, 0, "run", 1.0),
+            _span(1, 0, 1, "child", 1.1),  # clock jitter: child > parent
+        ]
+        assert aggregate_spans(spans)["phases"]["run"]["self_s"] == 0.0
+
+
+class TestMergeMetrics:
+    def test_last_record_per_pid_then_sum_across_pids(self):
+        records = [
+            {"pid": 1, "counters": {"c": 5}, "gauges": {}, "histograms": {}},
+            {"pid": 1, "counters": {"c": 9}, "gauges": {}, "histograms": {}},
+            {"pid": 2, "counters": {"c": 1}, "gauges": {}, "histograms": {}},
+        ]
+        assert merge_metrics(records)["counters"]["c"] == 10
+
+    def test_histograms_merge(self):
+        h1 = {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0}
+        h2 = {"count": 1, "total": 9.0, "min": 9.0, "max": 9.0}
+        records = [
+            {"pid": 1, "counters": {}, "gauges": {}, "histograms": {"h": h1}},
+            {"pid": 2, "counters": {}, "gauges": {}, "histograms": {"h": h2}},
+        ]
+        merged = merge_metrics(records)["histograms"]["h"]
+        assert merged == {"count": 3, "total": 12.0, "min": 1.0, "max": 9.0}
+
+
+class TestReadTrace:
+    def test_bad_line_is_loud(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n')
+        with pytest.raises(ValueError, match="trace.jsonl:2"):
+            read_trace([path])
+
+    def test_unknown_types_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "future-thing"}\n\n')
+        assert read_trace([path]) == ([], [])
+
+
+class TestFormatBreakdown:
+    def test_table_and_coverage_row(self):
+        agg = aggregate_spans([
+            _span(0, None, 0, "run", 2.0),
+            _span(1, 0, 1, "kernel", 1.5),
+        ])
+        text = format_breakdown(agg)
+        assert "kernel" in text and "run" in text
+        assert "(traced wall)" in text
+        assert "100.0%" in text  # self times partition the wall exactly
+
+    def test_empty(self):
+        assert format_breakdown(aggregate_spans([])) == "(no spans)"
+
+
+class TestProgressEta:
+    def test_rate_and_eta_from_mtimes(self):
+        out = progress_eta(3, 5, [100.0, 110.0, 120.0])
+        assert out["remaining"] == 2
+        assert out["rate_per_s"] == pytest.approx(0.1)
+        assert out["eta_s"] == pytest.approx(20.0)
+
+    def test_done(self):
+        out = progress_eta(2, 2, [100.0, 101.0])
+        assert out["remaining"] == 0 and out["eta_s"] == 0.0
+
+    def test_insufficient_samples(self):
+        out = progress_eta(1, 5, [100.0])
+        assert out["rate_per_s"] is None and out["eta_s"] is None
+
+    def test_identical_mtimes(self):
+        out = progress_eta(3, 5, [100.0, 100.0, 100.0])
+        assert out["rate_per_s"] is None
+
+
+class TestFormatProgress:
+    def test_fraction_and_eta(self):
+        line = format_progress(progress_eta(3, 5, [100.0, 110.0, 120.0]))
+        assert "3/5 cells done (60.0%)" in line
+        assert "ETA 20s" in line
+
+    def test_hits_split(self):
+        line = format_progress(progress_eta(4, 4, [1.0, 2.0]), hits=3)
+        assert "3 warm / 1 computed" in line
+
+    def test_unknown_eta(self):
+        line = format_progress(progress_eta(1, 5, [100.0]))
+        assert "ETA unknown" in line

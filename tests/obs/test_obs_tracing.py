@@ -1,0 +1,148 @@
+"""Span tracer: nesting, the disabled no-op, and JSONL round-trips."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs import tracing
+from repro.obs.report import read_trace
+from repro.obs.tracing import (
+    add_span,
+    drain_spans,
+    set_trace_dir,
+    trace_span,
+    write_trace,
+)
+
+
+class TestDisabled:
+    def test_trace_span_returns_shared_null(self):
+        a = trace_span("x")
+        b = trace_span("y", n=3)
+        assert a is b  # one shared no-op object, no allocation per call
+
+    def test_nothing_buffered(self):
+        with trace_span("x"):
+            add_span("inner", 0.5)
+        assert drain_spans() == []
+
+
+class TestNesting:
+    def test_depth_parent_and_ids(self, obs_on):
+        with trace_span("outer", n=64):
+            with trace_span("inner"):
+                pass
+            with trace_span("inner"):
+                pass
+        spans = drain_spans()
+        assert [s["name"] for s in spans] == ["inner", "inner", "outer"]
+        outer = spans[2]
+        assert outer["depth"] == 0 and outer["parent"] is None
+        assert outer["attrs"] == {"n": 64}
+        for inner in spans[:2]:
+            assert inner["depth"] == 1
+            assert inner["parent"] == outer["id"]
+        assert len({s["id"] for s in spans}) == 3
+
+    def test_add_span_attaches_to_open_span(self, obs_on):
+        with trace_span("outer"):
+            add_span("kernel", 0.25, chunks=3)
+        kernel, outer = drain_spans()
+        assert kernel["name"] == "kernel"
+        assert kernel["parent"] == outer["id"]
+        assert kernel["depth"] == 1
+        assert kernel["dur_s"] == 0.25
+        assert kernel["attrs"] == {"chunks": 3}
+
+    def test_durations_are_nonnegative_and_nested(self, obs_on):
+        with trace_span("outer"):
+            with trace_span("inner"):
+                pass
+        inner, outer = drain_spans()
+        assert 0 <= inner["dur_s"] <= outer["dur_s"]
+
+    def test_exception_still_records_and_propagates(self, obs_on):
+        try:
+            with trace_span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - the raise must propagate
+            raise AssertionError("exception swallowed")
+        (span,) = drain_spans()
+        assert span["name"] == "boom"
+
+
+class TestRoundTrip:
+    def test_write_trace_jsonl_schema(self, obs_on, tmp_path):
+        from repro.obs.metrics import counter_add
+
+        with trace_span("outer"):
+            counter_add("c")
+        path = write_trace(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["span", "metrics"]
+        span = records[0]
+        for key in ("id", "parent", "depth", "name", "t_wall", "dur_s",
+                    "attrs", "pid"):
+            assert key in span
+        assert records[1]["counters"] == {"c": 1}
+
+    def test_read_trace_recovers_spans_and_metrics(self, obs_on, tmp_path):
+        from repro.obs.metrics import counter_add
+
+        with trace_span("outer", k="v"):
+            counter_add("c", 2)
+        path = write_trace(tmp_path / "trace.jsonl")
+        spans, metrics_records = read_trace([path])
+        assert len(spans) == 1 and spans[0]["name"] == "outer"
+        assert spans[0]["attrs"] == {"k": "v"}
+        assert metrics_records[0]["counters"] == {"c": 2}
+
+    def test_write_clears_buffer(self, obs_on, tmp_path):
+        with trace_span("x"):
+            pass
+        write_trace(tmp_path / "t.jsonl")
+        assert drain_spans() == []
+
+
+class TestAutoFlush:
+    def test_root_span_close_writes_trace_and_manifest(self, obs_on, tmp_path):
+        set_trace_dir(tmp_path)
+        with trace_span("root"):
+            with trace_span("child"):
+                pass
+        pid = os.getpid()
+        trace = tmp_path / f"trace-{pid}.jsonl"
+        manifest = tmp_path / f"manifest-{pid}.json"
+        assert trace.is_file() and manifest.is_file()
+        spans, _ = read_trace([trace])
+        assert {s["name"] for s in spans} == {"root", "child"}
+        json.loads(manifest.read_text())  # valid JSON
+
+    def test_manifest_written_once_trace_appends(self, obs_on, tmp_path):
+        set_trace_dir(tmp_path)
+        with trace_span("first"):
+            pass
+        manifest = tmp_path / f"manifest-{os.getpid()}.json"
+        before = manifest.read_text()
+        with trace_span("second"):
+            pass
+        assert manifest.read_text() == before
+        spans, _ = read_trace([tmp_path / f"trace-{os.getpid()}.jsonl"])
+        assert [s["name"] for s in spans] == ["first", "second"]
+
+    def test_no_flush_without_trace_dir(self, obs_on, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with trace_span("root"):
+            pass
+        assert list(tmp_path.iterdir()) == []  # buffered, not flushed
+        assert len(drain_spans()) == 1
+
+    def test_reset_drops_buffer(self, obs_on):
+        with trace_span("x"):
+            pass
+        tracing._reset()
+        assert drain_spans() == []

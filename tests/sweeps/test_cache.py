@@ -52,7 +52,7 @@ class TestResultCache:
         cache.put(SPEC, {"counts": {"3": 7}})
         entry = cache.get(SPEC)
         assert entry is not None and entry["payload"]["counts"] == {"3": 7}
-        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1, "corrupt": 0}
 
     def test_perturbed_spec_misses(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -26,7 +26,7 @@ class TestTable1Cached:
         store = ResultCache(tmp_path)
         cold = run_table1(trials=3, n_values=(64, 128), cache=store)
         n_cells = len(cold.cells)
-        assert store.stats == {"hits": 0, "misses": n_cells, "stores": n_cells}
+        assert store.stats == {"hits": 0, "misses": n_cells, "stores": n_cells, "corrupt": 0}
         warm = run_table1(trials=3, n_values=(64, 128), cache=store)
         assert store.hits == n_cells
         assert store.misses == n_cells  # unchanged by the warm run

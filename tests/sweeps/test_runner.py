@@ -63,7 +63,7 @@ class TestSubmitCell:
     def test_second_call_hits_and_matches(self, tmp_path):
         store = ResultCache(tmp_path)
         first = submit_cell(SPEC, 6, 42, cache=store)
-        assert store.stats == {"hits": 0, "misses": 1, "stores": 1}
+        assert store.stats == {"hits": 0, "misses": 1, "stores": 1, "corrupt": 0}
         second = submit_cell(SPEC, 6, 42, cache=store)
         assert store.hits == 1
         assert second.counts == first.counts
@@ -79,7 +79,7 @@ class TestSubmitCell:
     def test_seed_none_bypasses_cache(self, tmp_path):
         store = ResultCache(tmp_path)
         submit_cell(SPEC, 3, None, cache=store)
-        assert store.stats == {"hits": 0, "misses": 0, "stores": 0}
+        assert store.stats == {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
 
     def test_numpy_integer_seed_is_cacheable(self, tmp_path):
         store = ResultCache(tmp_path)
