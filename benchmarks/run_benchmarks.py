@@ -30,7 +30,12 @@ Besides the three engines, the fused engine is measured once per
 *kernel backend* available on the machine (``numpy`` reference, plus
 ``numba``/``cext`` when importable/compilable — see
 :mod:`repro.kernels`), emitted under ``backends`` with the speedup
-over the numpy reference.
+over the numpy reference, and once per *thread count* in
+``THREAD_COUNTS`` per backend (``REPRO_NUM_THREADS`` pinned per
+measurement), emitted under ``threads`` with the parallel efficiency
+relative to the backend's own 1-thread row.  The embedded manifest's
+``cpu`` field records the physical/logical core counts the scaling
+numbers must be read against.
 
 Usage::
 
@@ -60,6 +65,12 @@ from repro.obs.manifest import run_manifest
 
 D = 2
 STRATEGY = TieBreak.RANDOM
+
+#: Thread counts for the fused thread-scaling dimension.  Measured for
+#: every backend regardless of the host's core count — the manifest's
+#: ``cpu`` field records the topology, so a 4-thread row on a 1-core
+#: box is interpretable (expected efficiency ~1/4), not misleading.
+THREAD_COUNTS = (1, 2, 4)
 
 #: (n, trials, batched_trials, sequential_balls) per measured cell.
 #: Throughput is per-ball and trial-count independent, so the big-n
@@ -100,6 +111,27 @@ def _pinned_backend(name: str):
             os.environ["REPRO_KERNEL_BACKEND"] = prev
 
 
+@contextmanager
+def _pinned_threads(count: int):
+    """Force one kernel thread count for everything inside the block.
+
+    ``REPRO_NUM_THREADS`` is the strongest selector
+    (:func:`repro.kernels.resolve_threads`), so pinning it steers the
+    fused engine's thread resolution without touching any kwargs — and
+    keeps the single-thread rows honest on multicore hosts, where the
+    auto default would otherwise parallelize them.
+    """
+    prev = os.environ.get("REPRO_NUM_THREADS")
+    os.environ["REPRO_NUM_THREADS"] = str(count)
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ["REPRO_NUM_THREADS"]
+        else:
+            os.environ["REPRO_NUM_THREADS"] = prev
+
+
 def _time_best(fn, repeats: int) -> float:
     fn()  # warm-up: page faults, bucket tables, allocator reuse
     best = float("inf")
@@ -130,7 +162,7 @@ def _measure_cell(n, trials, batched_trials, sequential_balls, repeats, backends
         run_sequential(spaces[0], sequential_balls, D, STRATEGY,
                        np.random.default_rng(0))
 
-    with _pinned_backend("numpy"):
+    with _pinned_backend("numpy"), _pinned_threads(1):
         timings = {
             "fused": (_time_best(fused, repeats), trials * n),
             "batched": (_time_best(batched, repeats), batched_trials * n),
@@ -148,7 +180,7 @@ def _measure_cell(n, trials, batched_trials, sequential_balls, repeats, backends
     for name in backends:
         if name == "numpy":
             continue
-        with _pinned_backend(name):
+        with _pinned_backend(name), _pinned_threads(1):
             seconds = _time_best(fused, repeats)
         backend_rows[name] = {
             "seconds": round(seconds, 4),
@@ -159,6 +191,23 @@ def _measure_cell(n, trials, batched_trials, sequential_balls, repeats, backends
         row["speedup_over_numpy"] = round(
             row["balls_per_s"] / backend_rows["numpy"]["balls_per_s"], 2
         )
+    thread_rows: dict[str, dict] = {}
+    for name in backends:
+        rows: dict[str, dict] = {}
+        base = None
+        for count in THREAD_COUNTS:
+            with _pinned_backend(name), _pinned_threads(count):
+                seconds = _time_best(fused, repeats)
+            bps = trials * n / seconds
+            if base is None:
+                base = bps
+            rows[str(count)] = {
+                "seconds": round(seconds, 4),
+                "balls_per_s": round(bps, 1),
+                "speedup_over_1_thread": round(bps / base, 2),
+                "parallel_efficiency": round(bps / base / count, 2),
+            }
+        thread_rows[name] = rows
     return {
         "n": n,
         "trials": trials,
@@ -166,6 +215,7 @@ def _measure_cell(n, trials, batched_trials, sequential_balls, repeats, backends
         "sequential_balls": sequential_balls,
         "engines": engines,
         "backends": backend_rows,
+        "threads": thread_rows,
         "speedup_fused_over_batched": round(
             engines["fused"]["balls_per_s"] / engines["batched"]["balls_per_s"], 2
         ),
@@ -173,13 +223,23 @@ def _measure_cell(n, trials, batched_trials, sequential_balls, repeats, backends
 
 
 def _cross_check(n: int, trials: int, backends) -> None:
-    """Every engine × backend must produce identical loads (fail loudly)."""
+    """Every engine × backend × thread count must produce identical
+    loads (fail loudly)."""
     spaces = _spaces_and_seeds(n, trials)
     reference = None
     for name in backends:
-        with _pinned_backend(name):
+        with _pinned_backend(name), _pinned_threads(1):
             rngs = [np.random.default_rng(k) for k in range(trials)]
             fused, _ = run_fused(spaces, n, D, STRATEGY, rngs)
+        with _pinned_backend(name), _pinned_threads(max(THREAD_COUNTS)):
+            rngs = [np.random.default_rng(k) for k in range(trials)]
+            fused_mt, _ = run_fused(spaces, n, D, STRATEGY, rngs)
+        if not np.array_equal(fused, fused_mt):
+            raise AssertionError(
+                f"threaded fused run diverges from serial under backend "
+                f"{name!r} at n={n} — bit-identity broken, refusing to "
+                "emit benchmark numbers"
+            )
         if reference is None:
             reference = fused
             with _pinned_backend("numpy"):
@@ -242,6 +302,13 @@ def main(argv=None) -> int:
                 f"  fused[{name}]: {row['balls_per_s']:,.0f} balls/s "
                 f"({row['speedup_over_numpy']}x over numpy)"
             )
+        for name, rows in cell["threads"].items():
+            scaling = ", ".join(
+                f"{count}t={row['balls_per_s']:,.0f}/s "
+                f"(eff {row['parallel_efficiency']})"
+                for count, row in rows.items()
+            )
+            print(f"  threads[{name}]: {scaling}")
 
     payload = {
         "benchmark": "engine_throughput",
@@ -257,8 +324,13 @@ def main(argv=None) -> int:
             "place different trial counts per cell (see trials/"
             "batched_trials/sequential_balls). 'backends' rows rerun the "
             "fused engine under each kernel backend, REPRO_KERNEL_BACKEND "
-            "pinned; 'engines' rows are pure numpy."
+            "pinned; 'engines' rows are pure numpy. Both are measured at "
+            "REPRO_NUM_THREADS=1; 'threads' rows sweep the thread count "
+            "per backend (parallel_efficiency = speedup / threads — "
+            "interpret against manifest.cpu, a 4-thread row on a 1-core "
+            "host cannot exceed efficiency ~0.25)."
         ),
+        "thread_counts": list(THREAD_COUNTS),
         "unix_time": int(time.time()),
         "manifest": run_manifest(),
         "cells": results,

@@ -242,6 +242,7 @@ def place_balls_multi(
     rng_block: int = _engine.DEFAULT_RNG_BLOCK,
     record_heights: bool = False,
     backend=None,
+    threads: int | None = None,
 ) -> list[PlacementResult]:
     """Run the greedy process once per space, fused across runs.
 
@@ -264,6 +265,11 @@ def place_balls_multi(
         :func:`repro.core.multitrial.run_fused`
         (:func:`repro.kernels.resolve_backend` semantics; results are
         backend-independent).
+    threads:
+        Worker-thread count, forwarded to
+        :func:`repro.core.multitrial.run_fused`
+        (:func:`repro.kernels.resolve_threads` semantics; results are
+        thread-count-independent).
 
     Examples
     --------
@@ -294,6 +300,7 @@ def place_balls_multi(
         batch_size=batch_size,
         record_heights=record_heights,
         backend=backend,
+        threads=threads,
     )
     return [
         PlacementResult(

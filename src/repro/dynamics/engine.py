@@ -48,6 +48,8 @@ same way, so tie-breaking stays meaningful under churn.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.engine import DEFAULT_RNG_BLOCK, auto_batch_size, choice_blocks
@@ -62,7 +64,12 @@ from repro.core.strategies import (
 )
 from repro.dynamics.events import EventKind, EventTrace
 from repro.dynamics.result import DynamicResult
-from repro.kernels import STRATEGY_CODES, KernelBackend, resolve_backend
+from repro.kernels import (
+    STRATEGY_CODES,
+    KernelBackend,
+    resolve_backend,
+    resolve_threads,
+)
 from repro.obs import counter_add, histogram_observe, obs_session, trace_span
 from repro.obs import enabled as obs_enabled
 from repro.utils.rng import resolve_rng
@@ -100,6 +107,68 @@ def _predraw_inserts(
         us[pos : pos + b] = tiebreaks
         pos += b
     return cands, us
+
+
+class _PredrawPipeline:
+    """Background producer of the pre-drawn insert candidate stream.
+
+    The synchronous :func:`_predraw_inserts` pays the full candidate
+    generation cost up front, serializing it with trace replay.  This
+    pipeline fills the same ``cands``/``us`` arrays chunk-by-chunk from
+    the **same** :func:`choice_blocks` iterator on a producer thread
+    (numpy's bulk fills release the GIL), so replay of event window
+    ``w`` overlaps generation of the candidates windows ``w+1, ...``
+    will read.  :meth:`ensure` gates the consumer: it blocks until the
+    first ``count`` insert rows are materialized.
+
+    Bit-identity: one iterator, one thread consuming it, identical
+    block layout — the stream is byte-for-byte the synchronous one;
+    pipelining changes *when* rows are filled, never their values.
+    """
+
+    def __init__(self, space, rng, count, d, partitioned, rng_block):
+        self.cands = np.empty((count, d), dtype=np.int64)
+        self.us = np.empty(count, dtype=np.float64)
+        self._filled = 0
+        self._error: BaseException | None = None
+        self._cond = threading.Condition()
+        self._thread = threading.Thread(
+            target=self._produce,
+            args=(space, rng, count, d, partitioned, rng_block),
+            name="repro-predraw",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _produce(self, space, rng, count, d, partitioned, rng_block):
+        try:
+            pos = 0
+            for bins, tiebreaks in choice_blocks(
+                space, rng, count, d, partitioned=partitioned, rng_block=rng_block
+            ):
+                b = bins.shape[0]
+                self.cands[pos : pos + b] = bins
+                self.us[pos : pos + b] = tiebreaks
+                pos += b
+                with self._cond:
+                    self._filled = pos
+                    self._cond.notify_all()
+        except BaseException as exc:  # pragma: no cover - defensive
+            with self._cond:
+                self._error = exc
+                self._cond.notify_all()
+
+    def ensure(self, count: int) -> None:
+        """Block until the first ``count`` insert rows are filled."""
+        if self._filled >= count and self._error is None:
+            # lock-free fast path: _filled grows monotonically and a
+            # stale (smaller) read only sends us through the slow path
+            return
+        with self._cond:
+            while self._filled < count and self._error is None:
+                self._cond.wait()
+            if self._error is not None:
+                raise self._error
 
 
 def mixed_conflict_prefix(touched: np.ndarray, is_insert: np.ndarray) -> int:
@@ -157,6 +226,7 @@ class _DynamicState:
         partitioned: bool,
         rng_block: int,
         record_loads: bool,
+        threads: int = 1,
     ) -> None:
         if not isinstance(trace, EventTrace):
             raise TypeError(f"trace must be an EventTrace, got {type(trace).__name__}")
@@ -174,9 +244,17 @@ class _DynamicState:
         # spawned (not consumed) before the insert pre-draw, so the
         # insert stream matches the static engines' exactly
         self.aux_rng = rng.spawn(1)[0]
-        self.cands, self.us = _predraw_inserts(
-            space, rng, trace.num_inserts, self.d, partitioned, rng_block
-        )
+        if threads >= 2 and trace.num_inserts > 0:
+            self._pipeline = _PredrawPipeline(
+                space, rng, trace.num_inserts, self.d, partitioned, rng_block
+            )
+            self.cands = self._pipeline.cands
+            self.us = self._pipeline.us
+        else:
+            self._pipeline = None
+            self.cands, self.us = _predraw_inserts(
+                space, rng, trace.num_inserts, self.d, partitioned, rng_block
+            )
         self.loads = np.zeros(self.n, dtype=np.int64)
         self.ball_bin = np.full(trace.num_inserts, -1, dtype=np.int64)
         self.active = np.ones(self.n, dtype=bool)
@@ -192,6 +270,16 @@ class _DynamicState:
         self._live: list[int] = []
         self._nu: list[np.ndarray] = []
         self._snaps: list[np.ndarray] = []
+
+    def ensure_cands(self, count: int) -> None:
+        """Wait until the first ``count`` insert rows are pre-drawn.
+
+        A no-op without a pipelined predraw.  Ball ids are validated
+        consecutive in trace order, so the cumulative insert count of a
+        window upper-bounds every ball id it can read.
+        """
+        if self._pipeline is not None:
+            self._pipeline.ensure(count)
 
     # ------------------------------------------------------------------
     # scalar event application (the sequential engine; conflict steps)
@@ -448,6 +536,7 @@ def run_batched_dynamic(
     batch_size: int | None = None,
     record_loads: bool = False,
     backend: KernelBackend | str | None = None,
+    threads: int | None = None,
 ) -> DynamicResult:
     """Vectorized engine: mixed-event conflict-free-prefix batching.
 
@@ -461,11 +550,22 @@ def run_batched_dynamic(
     windows (:func:`repro.kernels.resolve_backend` semantics);
     accelerated backends replace the prefix machinery with one compiled
     in-order pass per window, with identical trajectories.
+
+    ``threads`` (:func:`repro.kernels.resolve_threads` semantics) ``>=
+    2`` pipelines the insert pre-draw on a producer thread
+    (:class:`_PredrawPipeline`): each event window waits only for the
+    candidates it can actually read — gated by the cumulative insert
+    count at its end — so candidate generation overlaps replay.  The
+    window chain itself is a serial dependency (each decision reads the
+    loads the previous one wrote), so this overlap is the dynamic
+    path's whole multicore story; results are bit-identical for every
+    thread count.
     """
     if batch_size is None:
         batch_size = auto_batch_size(space.n, d)
     batch_size = check_positive_int(batch_size, "batch_size")
     backend_obj = resolve_backend(backend)
+    eff_threads = resolve_threads(threads)
     state = _DynamicState(
         space,
         trace,
@@ -475,9 +575,15 @@ def run_batched_dynamic(
         partitioned=partitioned,
         rng_block=rng_block,
         record_loads=record_loads,
+        threads=eff_threads,
     )
     kinds = trace.kinds
     args = trace.args
+    # inserts-before-or-at each event index, for pipeline gating (ball
+    # ids are consecutive in trace order, so this bounds window reads)
+    insert_cum = (
+        np.cumsum(kinds == EventKind.INSERT) if state._pipeline is not None else None
+    )
     churn_positions = np.nonzero(kinds >= EventKind.BIN_LEAVE)[0]
     churn_ptr = 0
     i = 0
@@ -494,6 +600,8 @@ def run_batched_dynamic(
             stop = epoch_end
             if churn_ptr < churn_positions.size:
                 stop = min(stop, int(churn_positions[churn_ptr]))
+            if insert_cum is not None and stop > 0:
+                state.ensure_cands(int(insert_cum[stop - 1]))
             _run_event_window(state, kinds, args, i, stop, batch_size, backend_obj)
             i = stop
         state.snapshot()
@@ -513,6 +621,7 @@ def simulate_dynamics(
     partitioned: bool = False,
     record_loads: bool = False,
     backend: KernelBackend | str | None = None,
+    threads: int | None = None,
     obs: bool | None = None,
 ) -> DynamicResult:
     """Replay a dynamic workload on a space — the dynamics facade.
@@ -536,6 +645,13 @@ def simulate_dynamics(
     engine's event windows run through it.  ``engine="sequential"`` is
     always the pure-Python reference and ignores ``backend``.  Results
     are bit-identical across every engine/backend combination.
+
+    ``threads`` (:func:`repro.kernels.resolve_threads`:
+    ``REPRO_NUM_THREADS`` → this kwarg → physical cores) ``>= 2``
+    pipelines the insert pre-draw on a producer thread in the batched
+    engine; the sequential reference stays single-threaded.  Thread
+    count never changes results (enforced by
+    ``tests/kernels/test_threads_parity.py``).
 
     Examples
     --------
@@ -566,6 +682,7 @@ def simulate_dynamics(
             raise ValueError(
                 f"engine must be 'auto', 'sequential' or 'batched', got {engine!r}"
             )
+        eff_threads = resolve_threads(threads)
         with trace_span(
             "simulate_dynamics",
             engine=engine,
@@ -573,6 +690,7 @@ def simulate_dynamics(
             events=trace.num_events,
             n=space.n,
             d=d,
+            threads=eff_threads,
         ):
             counter_add("dynamics.events", trace.num_events)
             if engine == "sequential":
@@ -597,4 +715,5 @@ def simulate_dynamics(
                 batch_size=batch_size,
                 record_loads=record_loads,
                 backend=backend_obj,
+                threads=eff_threads,
             )

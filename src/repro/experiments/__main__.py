@@ -73,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed")
     parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="kernel threads within one cell (default: REPRO_NUM_THREADS, "
+        "else physical cores; results are thread-count-independent)",
+    )
+    parser.add_argument(
         "--cache",
         default=None,
         metavar="DIR",
@@ -149,6 +156,8 @@ def main(argv=None) -> int:
         kwargs["full"] = True
     if args.jobs != 1:
         kwargs["n_jobs"] = None if args.jobs == 0 else args.jobs
+    if args.threads is not None:
+        kwargs["threads"] = args.threads
     from repro.experiments.run_all import call_driver
 
     try:

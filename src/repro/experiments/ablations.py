@@ -179,6 +179,7 @@ def tiebreak_sweep(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    threads=None,
     cache="auto",
 ) -> ExperimentReport:
     """Strategies x d grid at fixed n."""
@@ -194,6 +195,7 @@ def tiebreak_sweep(
                 n_jobs=n_jobs,
                 engine=engine,
                 backend=backend,
+                threads=threads,
                 cache=store,
             )
     return ExperimentReport(
@@ -218,6 +220,7 @@ def mn_sweep(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    threads=None,
     cache="auto",
 ) -> ExperimentReport:
     """Max load vs m/n (the heavily loaded remark)."""
@@ -233,6 +236,7 @@ def mn_sweep(
                 n_jobs=n_jobs,
                 engine=engine,
                 backend=backend,
+                threads=threads,
                 cache=store,
             )
     return ExperimentReport(
@@ -257,6 +261,7 @@ def dimension_sweep(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    threads=None,
     cache="auto",
 ) -> ExperimentReport:
     """Torus dimension sweep (the higher-dimension remark)."""
@@ -272,6 +277,7 @@ def dimension_sweep(
                 n_jobs=n_jobs,
                 engine=engine,
                 backend=backend,
+                threads=threads,
                 cache=store,
             )
     return ExperimentReport(

@@ -48,7 +48,7 @@ DEFAULT_PLAN: dict[str, tuple[str, dict]] = {
 
 #: kwargs silently dropped when a driver's signature does not accept
 #: them — text-report drivers without ``n_jobs``/``cache``.
-_OPTIONAL_KWARGS = ("cache", "n_jobs")
+_OPTIONAL_KWARGS = ("cache", "n_jobs", "threads")
 
 
 def call_driver(driver: Callable, kwargs: dict):

@@ -32,6 +32,7 @@ def run(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    threads=None,
     cache="auto",
     full: bool = False,
 ) -> ExperimentReport:
@@ -59,6 +60,7 @@ def run(
                     n_jobs=n_jobs,
                     engine=engine,
                     backend=backend,
+                    threads=threads,
                     cache=store,
                 )
     return ExperimentReport(

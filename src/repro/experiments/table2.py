@@ -28,6 +28,7 @@ def run(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    threads=None,
     cache="auto",
     full: bool = False,
     dim: int = 2,
@@ -56,6 +57,7 @@ def run(
                     n_jobs=n_jobs,
                     engine=engine,
                     backend=backend,
+                    threads=threads,
                     cache=store,
                 )
     return ExperimentReport(

@@ -43,6 +43,7 @@ def run(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    threads=None,
     cache="auto",
     full: bool = False,
 ) -> ExperimentReport:
@@ -76,6 +77,7 @@ def run(
                     n_jobs=n_jobs,
                     engine=engine,
                     backend=backend,
+                    threads=threads,
                     cache=store,
                 )
     return ExperimentReport(

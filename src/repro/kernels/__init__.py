@@ -68,6 +68,13 @@ import os
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.kernels.threads import (
+    cpu_topology,
+    logical_cores,
+    physical_cores,
+    resolve_threads,
+    thread_chunks,
+)
 from repro.obs.metrics import counter_add
 
 _log = logging.getLogger(__name__)
@@ -80,6 +87,11 @@ __all__ = [
     "get_backend",
     "resolve_backend",
     "default_backend",
+    "cpu_topology",
+    "logical_cores",
+    "physical_cores",
+    "resolve_threads",
+    "thread_chunks",
 ]
 
 #: Names accepted by :func:`get_backend` (besides ``"auto"``).
@@ -116,17 +128,33 @@ class KernelBackend:
         ``loads`` and ``ball_bin`` in place; ``remap`` is the cyclic-
         successor bin remap or ``None`` for the identity.  Returns the
         ``(inserts, deletes)`` counts applied.
-    ``ring_assign(pts, table, pos_ext, nbuckets, n)``
+    ``ring_assign(pts, table, pos_ext, nbuckets, n, threads=1)``
         Bucket-table ring ownership lookup: for each point start at
         the cached lower bound of its bucket and probe forward, exactly
         like :meth:`repro.core.ring.RingSpace._assign_bucketed`.
-        Returns an int64 index array.
+        Returns an int64 index array.  ``threads > 1`` partitions the
+        points into static contiguous row groups
+        (:func:`repro.kernels.threads.thread_chunks`) processed
+        GIL-free in parallel — each output row is an independent
+        lookup, so the partition is bit-identical by construction.
+    ``place_block_multi(bins3, us2, loads2, measures2, strategy_code,
+    heights2, pos, threads)``
+        Thread-parallel twin of ``place_block`` over ``T`` fused
+        trials: ``bins3`` is ``(T, b, d)``, ``us2`` ``(T, b)``,
+        ``loads2`` the full ``(T, n)`` fused load array, ``measures2``
+        ``(T, n)`` or ``None``, ``heights2`` the full ``(T, m)``
+        heights array or ``None`` (rows written at column offset
+        ``pos``).  Trials are partitioned into static contiguous
+        row groups, one ``place_block`` loop per trial — trials never
+        share bins, so any static partition is bit-identical to the
+        serial per-trial loop.
     """
 
     name: str
     place_block: Callable | None = None
     dynamic_window: Callable | None = None
     ring_assign: Callable | None = None
+    place_block_multi: Callable | None = None
 
     @property
     def is_accelerated(self) -> bool:

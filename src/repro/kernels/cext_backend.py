@@ -39,6 +39,7 @@ __all__ = ["build_backend", "C_SOURCE"]
 C_SOURCE = r"""
 #include <stdint.h>
 #include <math.h>
+#include <pthread.h>
 
 /* Remap-aware candidate lookup: remap == NULL means identity. */
 static inline int64_t bin_of(const int64_t *cand, const int64_t *remap,
@@ -220,6 +221,145 @@ void repro_ring_assign(const double *pts, int64_t q, const int32_t *table,
         out[i] = (j == n) ? 0 : j;
     }
 }
+
+/* ---------------- thread-parallel variants (pthreads) ----------------
+ *
+ * Work is partitioned STATICALLY into contiguous row groups (earlier
+ * groups at most one row longer), so the schedule — and therefore the
+ * result — is a pure function of (count, nthreads).  Each group's rows
+ * are fully independent (trials never share fused bins; ring lookups
+ * never share output rows), so every partition is bit-identical to
+ * the serial loop.  These entry points are called through ctypes,
+ * which drops the GIL for the duration of the call: the threads below
+ * run on bare cores while Python-side producers keep generating RNG
+ * candidate blocks. */
+
+#define MAX_KERNEL_THREADS 64
+
+/* One trial range of a fused place_block_multi call. */
+typedef struct {
+    const int64_t *bins;    /* (t, b, d) fused candidate rows */
+    const double *us;       /* (t, b) tie-break uniforms */
+    int64_t k0, k1, b, d;
+    int64_t *loads;         /* (t, n) fused load matrix */
+    int64_t n;
+    const double *measures; /* (t, n) or NULL */
+    int64_t strategy;
+    int64_t *heights;       /* (t, m) or NULL, written at column pos */
+    int64_t m, pos;
+} place_multi_job;
+
+static void *place_multi_worker(void *arg)
+{
+    place_multi_job *job = (place_multi_job *)arg;
+    int64_t k;
+    for (k = job->k0; k < job->k1; k++)
+        repro_place_block(job->bins + k * job->b * job->d,
+                          job->us + k * job->b, job->b, job->d,
+                          job->loads + k * job->n,
+                          job->measures ? job->measures + k * job->n : 0,
+                          job->strategy,
+                          job->heights ? job->heights + k * job->m + job->pos
+                                       : 0);
+    return 0;
+}
+
+/* Kernel 1b: place one RNG block of every fused trial, trials
+ * partitioned across nthreads OS threads. */
+void repro_place_block_multi(const int64_t *bins, const double *us,
+                             int64_t t, int64_t b, int64_t d,
+                             int64_t *loads, int64_t n,
+                             const double *measures, int64_t strategy,
+                             int64_t *heights, int64_t m, int64_t pos,
+                             int64_t nthreads)
+{
+    pthread_t tids[MAX_KERNEL_THREADS];
+    place_multi_job jobs[MAX_KERNEL_THREADS];
+    int64_t w, base, extra, start, i, spawned = 0;
+    if (nthreads > t)
+        nthreads = t;
+    if (nthreads > MAX_KERNEL_THREADS)
+        nthreads = MAX_KERNEL_THREADS;
+    if (nthreads < 1)
+        nthreads = 1;
+    base = t / nthreads;
+    extra = t % nthreads;
+    start = 0;
+    for (w = 0; w < nthreads; w++) {
+        int64_t stop = start + base + (w < extra ? 1 : 0);
+        jobs[w] = (place_multi_job){bins, us, start, stop, b, d, loads, n,
+                                    measures, strategy, heights, m, pos};
+        start = stop;
+    }
+    for (w = 1; w < nthreads; w++) {
+        if (pthread_create(&tids[w], 0, place_multi_worker, &jobs[w]) != 0)
+            place_multi_worker(&jobs[w]); /* degrade: run inline */
+        else
+            spawned |= ((int64_t)1 << w);
+    }
+    place_multi_worker(&jobs[0]); /* the calling thread takes group 0 */
+    for (i = 1; i < nthreads; i++)
+        if (spawned & ((int64_t)1 << i))
+            pthread_join(tids[i], 0);
+}
+
+/* One point range of a parallel ring_assign call. */
+typedef struct {
+    const double *pts;
+    int64_t q;
+    const int32_t *table;
+    const double *pos_ext;
+    int64_t nbuckets, n;
+    int64_t *out;
+} ring_job;
+
+static void *ring_worker(void *arg)
+{
+    ring_job *job = (ring_job *)arg;
+    repro_ring_assign(job->pts, job->q, job->table, job->pos_ext,
+                      job->nbuckets, job->n, job->out);
+    return 0;
+}
+
+/* Kernel 3b: ring ownership lookup, points partitioned across
+ * nthreads OS threads (each runs the pipelined serial loop on its
+ * contiguous slice). */
+void repro_ring_assign_par(const double *pts, int64_t q,
+                           const int32_t *table, const double *pos_ext,
+                           int64_t nbuckets, int64_t n, int64_t *out,
+                           int64_t nthreads)
+{
+    pthread_t tids[MAX_KERNEL_THREADS];
+    ring_job jobs[MAX_KERNEL_THREADS];
+    int64_t w, base, extra, start, i, spawned = 0;
+    if (nthreads > q)
+        nthreads = q;
+    if (nthreads > MAX_KERNEL_THREADS)
+        nthreads = MAX_KERNEL_THREADS;
+    if (nthreads <= 1) {
+        repro_ring_assign(pts, q, table, pos_ext, nbuckets, n, out);
+        return;
+    }
+    base = q / nthreads;
+    extra = q % nthreads;
+    start = 0;
+    for (w = 0; w < nthreads; w++) {
+        int64_t stop = start + base + (w < extra ? 1 : 0);
+        jobs[w] = (ring_job){pts + start, stop - start, table, pos_ext,
+                             nbuckets, n, out + start};
+        start = stop;
+    }
+    for (w = 1; w < nthreads; w++) {
+        if (pthread_create(&tids[w], 0, ring_worker, &jobs[w]) != 0)
+            ring_worker(&jobs[w]);
+        else
+            spawned |= ((int64_t)1 << w);
+    }
+    ring_worker(&jobs[0]);
+    for (i = 1; i < nthreads; i++)
+        if (spawned & ((int64_t)1 << i))
+            pthread_join(tids[i], 0);
+}
 """
 
 _I64 = ctypes.c_int64
@@ -262,7 +402,7 @@ def _compile_library() -> Path:
             src.write_text(C_SOURCE, encoding="utf-8")
             tmp = base / f".{libname}.{os.getpid()}.tmp"
             proc = subprocess.run(
-                [cc, "-O3", "-fPIC", "-shared", "-o", str(tmp), str(src)],
+                [cc, "-O3", "-fPIC", "-shared", "-pthread", "-o", str(tmp), str(src)],
                 capture_output=True,
                 text=True,
                 timeout=120,
@@ -319,6 +459,15 @@ def build_backend():
     lib.repro_dynamic_window.restype = None
     lib.repro_ring_assign.argtypes = [_PTR, _I64, _PTR, _PTR, _I64, _I64, _PTR]
     lib.repro_ring_assign.restype = None
+    lib.repro_place_block_multi.argtypes = [
+        _PTR, _PTR, _I64, _I64, _I64, _PTR, _I64, _PTR, _I64, _PTR, _I64,
+        _I64, _I64,
+    ]
+    lib.repro_place_block_multi.restype = None
+    lib.repro_ring_assign_par.argtypes = [
+        _PTR, _I64, _PTR, _PTR, _I64, _I64, _PTR, _I64,
+    ]
+    lib.repro_ring_assign_par.restype = None
 
     def place_block(bins, us, loads, measures, strategy_code, heights):
         """C kernel for one block of sequential greedy placements."""
@@ -355,17 +504,52 @@ def build_backend():
         )
         return int(counts[0]), int(counts[1])
 
-    def ring_assign(pts, table, pos_ext, nbuckets, n):
-        """C kernel for the bucket-table ring ownership lookup."""
+    def ring_assign(pts, table, pos_ext, nbuckets, n, threads=1):
+        """C kernel for the bucket-table ring ownership lookup.
+
+        ``threads > 1`` partitions the points into contiguous row
+        groups looked up on that many OS threads (bit-identical: each
+        output row is independent).
+        """
         pts = _as_c(pts, np.float64)
         table = _as_c(table, np.int32)
         pos_ext = _as_c(pos_ext, np.float64)
         out = np.empty(pts.size, dtype=np.int64)
-        lib.repro_ring_assign(
-            _p(pts), pts.size, _p(table), _p(pos_ext), int(nbuckets),
-            int(n), _p(out),
-        )
+        if threads > 1:
+            lib.repro_ring_assign_par(
+                _p(pts), pts.size, _p(table), _p(pos_ext), int(nbuckets),
+                int(n), _p(out), int(threads),
+            )
+        else:
+            lib.repro_ring_assign(
+                _p(pts), pts.size, _p(table), _p(pos_ext), int(nbuckets),
+                int(n), _p(out),
+            )
         return out
+
+    def place_block_multi(
+        bins3, us2, loads2, measures2, strategy_code, heights2, pos, threads
+    ):
+        """C kernel placing one RNG block of every fused trial at once.
+
+        Trials are partitioned into static contiguous row groups
+        processed on ``threads`` OS threads; each group runs the same
+        scalar ``place_block`` loop as the serial path, so results are
+        bit-identical for every thread count.
+        """
+        bins3 = _as_c(bins3, np.int64)
+        us2 = _as_c(us2, np.float64)
+        _check_inplace(loads2, np.int64, "loads2")
+        measures2 = None if measures2 is None else _as_c(measures2, np.float64)
+        if heights2 is not None:
+            _check_inplace(heights2, np.int64, "heights2")
+        t, b, d = bins3.shape
+        n = loads2.shape[1]
+        m = 0 if heights2 is None else heights2.shape[1]
+        lib.repro_place_block_multi(
+            _p(bins3), _p(us2), t, b, d, _p(loads2), n, _p(measures2),
+            int(strategy_code), _p(heights2), m, int(pos), int(threads),
+        )
 
     from repro.kernels import KernelBackend
 
@@ -374,4 +558,5 @@ def build_backend():
         place_block=place_block,
         dynamic_window=dynamic_window,
         ring_assign=ring_assign,
+        place_block_multi=place_block_multi,
     )

@@ -168,6 +168,48 @@ def _ring_assign_impl(pts, table, pos_ext, nbuckets, n, out):
         out[i] = 0 if j == n else j
 
 
+def _make_parallel_kernels(jit, numba, place_block_jit):
+    """Build the ``prange`` thread-parallel kernel twins.
+
+    ``place_block_multi`` pranges over fused trials (each trial's loop
+    is the serial ``place_block`` body — trials never share bins, so
+    any prange schedule is bit-identical); the parallel ``ring_assign``
+    pranges over points (each output row is an independent lookup).
+    Raises whatever ``numba.njit(parallel=True)`` raises when the
+    threading layer is unavailable; the caller degrades gracefully.
+    """
+    prange = numba.prange
+    pjit = numba.njit(cache=True, fastmath=False, parallel=True)
+
+    def _place_block_multi_impl(bins3, us2, loads2, measures2, use_measures,
+                                strategy, heights2, record_heights, pos):
+        t = bins3.shape[0]
+        b = bins3.shape[1]
+        for k in prange(t):
+            km = k if use_measures else 0
+            kh = k if record_heights else 0
+            place_block_jit(
+                bins3[k],
+                us2[k],
+                loads2[k],
+                measures2[km],
+                use_measures,
+                strategy,
+                heights2[kh, pos : pos + b],
+                record_heights,
+            )
+
+    def _ring_assign_par_impl(pts, table, pos_ext, nbuckets, n, out):
+        for i in prange(pts.size):
+            x = pts[i]
+            j = np.int64(table[np.int64(x * nbuckets)])
+            while pos_ext[j] < x:
+                j += 1
+            out[i] = 0 if j == n else j
+
+    return pjit(_place_block_multi_impl), pjit(_ring_assign_par_impl)
+
+
 def build_backend():
     """JIT-compile the kernels and wrap them as a :class:`KernelBackend`.
 
@@ -186,6 +228,16 @@ def build_backend():
     place_block_jit = jit(_place_block_impl)
     dynamic_window_jit = jit(_dynamic_window_impl)
     ring_assign_jit = jit(_ring_assign_impl)
+    try:
+        place_block_multi_jit, ring_assign_par_jit = _make_parallel_kernels(
+            jit, numba, place_block_jit
+        )
+    except Exception:  # pragma: no cover - threading layer unavailable
+        place_block_multi_jit = ring_assign_par_jit = None
+
+    def _clamped_threads(threads: int) -> int:
+        limit = getattr(numba.config, "NUMBA_NUM_THREADS", threads)
+        return max(1, min(int(threads), int(limit)))
 
     def place_block(bins, us, loads, measures, strategy_code, heights):
         """Numba kernel for one block of sequential greedy placements."""
@@ -221,12 +273,54 @@ def build_backend():
         )
         return int(ins), int(dels)
 
-    def ring_assign(pts, table, pos_ext, nbuckets, n):
-        """Numba kernel for the bucket-table ring ownership lookup."""
+    def ring_assign(pts, table, pos_ext, nbuckets, n, threads=1):
+        """Numba kernel for the bucket-table ring ownership lookup.
+
+        ``threads > 1`` runs the prange-parallel twin under that many
+        numba threads (bit-identical: each output row is independent).
+        """
         pts = np.ascontiguousarray(pts, dtype=np.float64)
         out = np.empty(pts.size, dtype=np.int64)
-        ring_assign_jit(pts, table, pos_ext, nbuckets, n, out)
+        if threads > 1 and ring_assign_par_jit is not None and pts.size > 1:
+            prev = numba.get_num_threads()
+            numba.set_num_threads(_clamped_threads(threads))
+            try:
+                ring_assign_par_jit(pts, table, pos_ext, nbuckets, n, out)
+            finally:
+                numba.set_num_threads(prev)
+        else:
+            ring_assign_jit(pts, table, pos_ext, nbuckets, n, out)
         return out
+
+    def place_block_multi(
+        bins3, us2, loads2, measures2, strategy_code, heights2, pos, threads
+    ):
+        """Numba kernel placing one RNG block of every fused trial.
+
+        Trials are prange-partitioned across numba threads; each
+        trial's loop is the serial ``place_block`` body, so results
+        are bit-identical for every thread count.
+        """
+        bins3 = np.ascontiguousarray(bins3, dtype=np.int64)
+        us2 = np.ascontiguousarray(us2, dtype=np.float64)
+        dummy_f8 = np.zeros((1, 1), dtype=np.float64)
+        dummy_i8 = np.zeros((1, bins3.shape[1]), dtype=np.int64)
+        prev = numba.get_num_threads()
+        numba.set_num_threads(_clamped_threads(threads))
+        try:
+            place_block_multi_jit(
+                bins3,
+                us2,
+                loads2,
+                dummy_f8 if measures2 is None else measures2,
+                measures2 is not None,
+                strategy_code,
+                dummy_i8 if heights2 is None else heights2,
+                heights2 is not None,
+                pos if heights2 is not None else 0,
+            )
+        finally:
+            numba.set_num_threads(prev)
 
     from repro.kernels import KernelBackend
 
@@ -235,4 +329,7 @@ def build_backend():
         place_block=place_block,
         dynamic_window=dynamic_window,
         ring_assign=ring_assign,
+        place_block_multi=(
+            None if place_block_multi_jit is None else place_block_multi
+        ),
     )

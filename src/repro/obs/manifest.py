@@ -58,6 +58,24 @@ def git_revision() -> str | None:
     return None
 
 
+def _cpu_topology() -> dict:
+    """CPU topology (physical/logical cores, model) for the manifest.
+
+    Thread-scaling numbers are uninterpretable without knowing the
+    machine they ran on, so every manifest carries the topology the
+    ``threads`` auto default derives from.  Lazy import for the same
+    layering reason as :func:`_detected_backend`; failures degrade to
+    an empty dict rather than raising.  Deterministic: the topology is
+    cached per process.
+    """
+    try:
+        from repro.kernels import cpu_topology
+
+        return cpu_topology()
+    except Exception:  # pragma: no cover - damaged platform probes only
+        return {}
+
+
 def _detected_backend() -> str:
     """Name of the kernel backend auto-detection would select.
 
@@ -104,6 +122,7 @@ def run_manifest(extra: dict | None = None) -> dict:
         "machine": platform.machine(),
         "executable": sys.executable,
         "kernel_backend": _detected_backend(),
+        "cpu": _cpu_topology(),
         "env": {
             key: value
             for key, value in sorted(os.environ.items())

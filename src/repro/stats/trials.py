@@ -179,7 +179,8 @@ def auto_cell_engine(n: int, trials: int, n_jobs: int | None = 1) -> str:
 
 
 def _run_cell_fused(
-    spec: CellSpec, trials: int, seed, *, profile: bool, backend=None
+    spec: CellSpec, trials: int, seed, *, profile: bool, backend=None,
+    threads=None,
 ):
     """All trials of a cell through the trial-fused engine.
 
@@ -188,9 +189,9 @@ def _run_cell_fused(
     server placement, then the item choices, so results are
     bit-identical to the per-trial paths.  Trials are processed in
     memory-bounded fusion chunks (:func:`fused_trial_chunk`), which
-    never changes results.  ``backend`` is forwarded to
-    :func:`~repro.core.multitrial.run_fused` (kernel backend selection;
-    results are backend-independent).
+    never changes results.  ``backend`` and ``threads`` are forwarded
+    to :func:`~repro.core.multitrial.run_fused` (kernel backend and
+    thread-count selection; results are independent of both).
     """
     seeds = spawn_seed_sequences(seed, trials)
     chunk = fused_trial_chunk(spec.n, spec.balls, spec.d)
@@ -207,6 +208,7 @@ def _run_cell_fused(
             rngs,
             partitioned=spec.partitioned,
             backend=backend,
+            threads=threads,
         )
         if profile:
             out.extend(nu_profile(row) for row in loads)
@@ -231,6 +233,7 @@ def run_cell_profile(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    threads: int | None = None,
     obs: bool | None = None,
 ) -> np.ndarray:
     """Mean ν-profile over trials (padded to the longest observed).
@@ -242,9 +245,9 @@ def run_cell_profile(
     analysis and tests compare against
     :func:`repro.theory.fluid.fluid_limit_tails`.
 
-    ``n_jobs`` and ``engine`` behave exactly as in :func:`run_cell`;
-    ν-profile sweeps parallelize or fuse the same way max-load sweeps
-    do, with identical results either way.
+    ``n_jobs``, ``engine`` and ``threads`` behave exactly as in
+    :func:`run_cell`; ν-profile sweeps parallelize or fuse the same way
+    max-load sweeps do, with identical results either way.
     """
     trials = check_positive_int(trials, "trials")
     resolved = _resolve_cell_engine(engine, spec.n, trials, n_jobs)
@@ -254,7 +257,8 @@ def run_cell_profile(
         counter_add("cell.profile_runs")
         if resolved == "fused":
             profiles = _run_cell_fused(
-                spec, trials, seed, profile=True, backend=backend
+                spec, trials, seed, profile=True, backend=backend,
+                threads=threads,
             )
         elif resolved == "process":
             profiles = run_trial_map(
@@ -313,6 +317,7 @@ def run_cell(
     n_jobs: int | None = 1,
     engine: str = "auto",
     backend=None,
+    threads: int | None = None,
     obs: bool | None = None,
 ) -> MaxLoadDistribution:
     """Run ``trials`` independent trials of a cell.
@@ -337,6 +342,13 @@ def run_cell(
         ``REPRO_KERNEL_BACKEND`` env var instead (the kwarg does not
         cross process boundaries).  Results are independent of this
         choice.
+    threads:
+        Worker-thread count for the fused path
+        (:func:`repro.kernels.resolve_threads`: ``REPRO_NUM_THREADS`` →
+        this kwarg → physical cores): GIL-released parallel placement
+        kernels plus a pipelined RNG candidate producer.  Like
+        ``backend``, the other paths honour the env var only.  Results
+        are independent of this choice.
     obs:
         Observability scope for this call
         (:func:`repro.obs.obs_session`): ``True`` traces a
@@ -360,7 +372,8 @@ def run_cell(
         counter_add("cell.engine_selected", engine=resolved)
         if resolved == "fused":
             maxima = _run_cell_fused(
-                spec, trials, seed, profile=False, backend=backend
+                spec, trials, seed, profile=False, backend=backend,
+                threads=threads,
             )
         elif resolved == "process":
             maxima = run_trial_map(

@@ -77,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes across cells (0 = all cores)",
     )
+    run_p.add_argument(
+        "--threads", type=int, default=None,
+        help="kernel threads within one cell (default: REPRO_NUM_THREADS, "
+        "else physical cores; forced to 1 under --workers > 1)",
+    )
     run_p.add_argument("--engine", default="auto", help="placement engine selector")
     run_p.add_argument("--cache", default=None, help="cache directory (overrides env)")
     run_p.add_argument("--no-cache", action="store_true", help="disable the cache")
@@ -171,6 +176,7 @@ def main(argv=None) -> int:
                 n_jobs=None if args.jobs == 0 else args.jobs,
                 engine=args.engine,
                 workers=None if args.workers == 0 else args.workers,
+                threads=args.threads,
                 progress=lambda line: print(line, file=sys.stderr),
             )
         except ValueError as exc:

@@ -34,12 +34,14 @@ bypasses the cache entirely.
 from __future__ import annotations
 
 import os
+import warnings
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.kernels import logical_cores, resolve_threads
 from repro.obs import obs_session, trace_span
 from repro.stats.distributions import MaxLoadDistribution
 from repro.stats.trials import CellSpec, run_cell, run_cell_profile
@@ -120,29 +122,33 @@ def submit_cell(
     engine: str = "auto",
     cache: CacheLike = "auto",
     backend=None,
+    threads: int | None = None,
 ) -> MaxLoadDistribution:
     """Cached drop-in for :func:`repro.stats.trials.run_cell`.
 
     On a cache hit the stored counts are returned without simulating;
     on a miss the cell is computed via ``run_cell`` (same ``n_jobs``,
-    ``engine`` and kernel-``backend`` semantics, bit-identical
-    results) and stored.  ``backend`` is deliberately absent from the
-    cache key: backends are bit-identical by contract, so a hit from
-    one backend is valid for all.  ``seed=None`` or a disabled cache
+    ``engine``, kernel-``backend`` and ``threads`` semantics,
+    bit-identical results) and stored.  ``backend`` and ``threads``
+    are deliberately absent from the cache key: backends and thread
+    counts are bit-identical by contract, so a hit from one
+    configuration is valid for all.  ``seed=None`` or a disabled cache
     falls through to plain ``run_cell``.
     """
     store = resolve_cache(cache)
     cache_seed = _cacheable_seed(seed)
     if store is None or cache_seed is None:
         return run_cell(
-            spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend
+            spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend,
+            threads=threads,
         )
     spec_d = cell_spec_dict(spec, trials, cache_seed)
     entry = store.get(spec_d)
     if entry is not None:
         return _dist_from_payload(entry["payload"], spec=spec)
     dist = run_cell(
-        spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend
+        spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend,
+        threads=threads,
     )
     store.put(spec_d, _counts_payload(dist))
     return dist
@@ -157,26 +163,29 @@ def submit_profile(
     engine: str = "auto",
     cache: CacheLike = "auto",
     backend=None,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Cached drop-in for :func:`repro.stats.trials.run_cell_profile`.
 
     The mean ν-profile (a float array) is stored as an NPZ payload next
     to the JSON entry — the cache's array path.  As in
-    :func:`submit_cell`, ``backend`` selects the kernel backend on a
-    miss and is not part of the cache key.
+    :func:`submit_cell`, ``backend`` and ``threads`` steer execution on
+    a miss and are not part of the cache key.
     """
     store = resolve_cache(cache)
     cache_seed = _cacheable_seed(seed)
     if store is None or cache_seed is None:
         return run_cell_profile(
-            spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend
+            spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend,
+            threads=threads,
         )
     spec_d = cell_spec_dict(spec, trials, cache_seed, kind="cell_profile")
     entry = store.get(spec_d)
     if entry is not None and "profile" in entry["arrays"]:
         return entry["arrays"]["profile"]
     profile = run_cell_profile(
-        spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend
+        spec, trials, seed, n_jobs=n_jobs, engine=engine, backend=backend,
+        threads=threads,
     )
     store.put(spec_d, {"trials": trials}, arrays={"profile": profile})
     return profile
@@ -220,8 +229,37 @@ def _cell_record(cell: SweepCell, dist: MaxLoadDistribution) -> dict:
 
 def _sweep_worker(args) -> dict:
     """Process-pool entry: compute one cell, return its counts."""
-    spec, trials, seed, engine = args
-    return run_cell(spec, trials, seed, engine=engine).to_json_counts()
+    spec, trials, seed, engine, threads = args
+    return run_cell(
+        spec, trials, seed, engine=engine, threads=threads
+    ).to_json_counts()
+
+
+def _worker_threads(workers: int, threads: int | None) -> int:
+    """Inner kernel threads per sweep worker process.
+
+    Process workers already parallelize across cells, so each worker
+    defaults to ``threads=1`` — kernel threads on top would
+    oversubscribe the machine.  An explicit request (the ``threads``
+    kwarg or ``REPRO_NUM_THREADS``) is honoured, but when
+    ``workers × threads`` exceeds the logical core count a
+    :class:`RuntimeWarning` flags the oversubscription (results are
+    unaffected either way — only wall-clock time suffers).
+    """
+    if threads is None and not os.environ.get("REPRO_NUM_THREADS", "").strip():
+        return 1
+    eff = resolve_threads(threads)
+    total = workers * eff
+    cores = logical_cores()
+    if total > cores:
+        warnings.warn(
+            f"sweep oversubscription: {workers} worker processes x {eff} "
+            f"kernel threads = {total} > {cores} logical cores; prefer "
+            "workers (across cells) or threads (within a cell), not both",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return eff
 
 
 def run_sweep(
@@ -233,6 +271,7 @@ def run_sweep(
     n_jobs: int | None = 1,
     engine: str = "auto",
     workers: int | None = 1,
+    threads: int | None = None,
     progress: Callable[[str], None] | None = None,
     obs: bool | None = None,
 ) -> SweepResult:
@@ -258,6 +297,14 @@ def run_sweep(
     workers:
         Process-parallel workers *across* uncached cells (``None`` =
         one per CPU).  Mutually exclusive with ``n_jobs != 1``.
+    threads:
+        Kernel threads *within* one cell
+        (:func:`repro.kernels.resolve_threads` semantics), forwarded to
+        ``run_cell``.  With ``workers > 1`` each worker defaults to one
+        thread — the processes already cover the cores — and an
+        explicit ``workers × threads`` overshoot of the machine raises
+        a :class:`RuntimeWarning` (see :func:`_worker_threads`).  Never
+        part of the cache key; results are independent of it.
     progress:
         Optional callable receiving one line per executed cell.
     obs:
@@ -302,7 +349,8 @@ def run_sweep(
                     "sweep_cell", cell=cell.label(), trials=cell.trials
                 ):
                     dist = run_cell(
-                        cell.spec, cell.trials, cell.seed, n_jobs=n_jobs, engine=engine
+                        cell.spec, cell.trials, cell.seed, n_jobs=n_jobs,
+                        engine=engine, threads=threads,
                     )
                     if store is not None:
                         store.put(cell.spec_dict(), _counts_payload(dist))
@@ -311,8 +359,12 @@ def run_sweep(
         elif pending:
             pool_size = workers if workers is not None else (os.cpu_count() or 1)
             check_positive_int(pool_size, "workers")
+            inner_threads = _worker_threads(pool_size, threads)
             ctx = get_context("fork") if os.name == "posix" else get_context()
-            payload = [(c.spec, c.trials, c.seed, engine) for _, c in pending]
+            payload = [
+                (c.spec, c.trials, c.seed, engine, inner_threads)
+                for _, c in pending
+            ]
             with ctx.Pool(min(pool_size, len(pending))) as pool:
                 counts_list = pool.map(_sweep_worker, payload)
             for (pos, cell), counts in zip(pending, counts_list):

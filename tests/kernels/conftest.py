@@ -16,8 +16,9 @@ from repro import kernels
 
 @pytest.fixture(autouse=True)
 def _clean_backend_env(monkeypatch):
-    """Unpin the env var: these tests control selection explicitly."""
+    """Unpin the env vars: these tests control selection explicitly."""
     monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
 
 
 @pytest.fixture

@@ -193,3 +193,67 @@ class TestRunSweep:
         result = run_sweep(grid, cache="off")
         with pytest.raises(ValueError, match="do not separate"):
             result.by_axes("n", "d")
+
+
+class TestSweepThreads:
+    """``threads`` never enters the cache key, the artifact, or the
+    results — and worker processes default to one kernel thread each."""
+
+    GRID = SweepGrid(n=(64, 128), d=(1, 2), trials=4, name="t")
+
+    @pytest.fixture(autouse=True)
+    def _unpinned_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+
+    def test_workers_default_to_one_inner_thread(self):
+        import warnings as _warnings
+
+        from repro.sweeps.runner import _worker_threads
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # any warning fails the test
+            assert _worker_threads(8, None) == 1
+
+    def test_explicit_threads_warn_on_oversubscription(self):
+        from repro.kernels import logical_cores
+        from repro.sweeps.runner import _worker_threads
+
+        workers = logical_cores()  # workers x 2 always exceeds cores
+        with pytest.warns(RuntimeWarning, match="oversubscription"):
+            assert _worker_threads(workers, 2) == 2
+
+    def test_env_pinned_threads_reach_workers(self, monkeypatch):
+        import warnings as _warnings
+
+        from repro.sweeps.runner import _worker_threads
+
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", RuntimeWarning)
+            assert _worker_threads(2, None) == 3
+
+    def test_cache_hit_shared_across_thread_counts(self, tmp_path):
+        """``threads`` is not in the key: a cell stored at threads=1
+        is served verbatim to a threads=7 submission."""
+        store = ResultCache(tmp_path)
+        ref = submit_cell(SPEC, trials=4, seed=9, cache=store, threads=1)
+        hit = submit_cell(SPEC, trials=4, seed=9, cache=store, threads=7)
+        assert store.hits == 1 and store.misses == 1
+        assert ref.counts == hit.counts
+
+    def test_threaded_sweep_artifact_byte_identical(self, tmp_path):
+        """Acceptance: the CI leg ``cmp``s threaded vs serial sweep
+        artifacts, so the saved bytes must match exactly."""
+        import warnings as _warnings
+
+        serial = run_sweep(self.GRID, cache="off")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", RuntimeWarning)
+            threaded = run_sweep(self.GRID, cache="off", threads=2)
+            workers = run_sweep(
+                self.GRID, cache="off", workers=2, threads=2
+            )
+        a = serial.save(tmp_path / "serial.json")
+        b = threaded.save(tmp_path / "threaded.json")
+        assert a.read_bytes() == b.read_bytes()
+        assert workers.to_json() == serial.to_json()

@@ -9,8 +9,8 @@ Two independent checks, both stdlib-only so they run anywhere:
    suffixes are stripped before the existence check).
 2. **Docstring coverage** — every module, public class, and public
    function/method in the :data:`DOCSTRING_PACKAGES` public APIs
-   (currently ``repro.sweeps``, ``repro.kernels`` and ``repro.obs``)
-   must carry a
+   (currently ``repro.sweeps``, ``repro.kernels``, ``repro.obs`` and
+   ``repro.core``) must carry a
    docstring (the pydocstyle D1xx family, implemented via ``ast`` so
    no third-party dependency is needed).
 
@@ -31,7 +31,12 @@ from pathlib import Path
 MARKDOWN_ROOTS = (".", "docs")
 
 #: Packages whose public API must be fully docstringed.
-DOCSTRING_PACKAGES = ("src/repro/sweeps", "src/repro/kernels", "src/repro/obs")
+DOCSTRING_PACKAGES = (
+    "src/repro/sweeps",
+    "src/repro/kernels",
+    "src/repro/obs",
+    "src/repro/core",
+)
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:", re.IGNORECASE)
