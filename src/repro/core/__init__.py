@@ -15,6 +15,7 @@ independent repetitions through the fused engine in one pass.
 """
 
 from repro.core.spaces import GeometricSpace
+from repro.core.incremental import IncrementalState
 from repro.core.ring import RingSpace
 from repro.core.torus import TorusSpace
 from repro.core.strategies import TieBreak
@@ -32,6 +33,7 @@ from repro.core.loads import (
 
 __all__ = [
     "GeometricSpace",
+    "IncrementalState",
     "RingSpace",
     "TorusSpace",
     "TieBreak",

@@ -4,6 +4,14 @@ Key *placement* in the paper is uniform (hashing idealizes any key
 population); lookup *popularity* in real systems is skewed, so the
 experiments also exercise a Zipf lookup stream to show the two-choices
 layout does not interact badly with hot keys.
+
+These generators sit on the serving tier's replay hot path
+(``repro.serve``, ``benchmarks/run_serve_benchmarks.py``), so they are
+fully vectorized: key dedup runs through ``np.unique`` and lookup
+streams through one bulk ``rng.choice`` — while producing sequences
+**identical** to the original scalar implementations for any given
+seed (same RNG call pattern, same outputs; pinned by
+``tests/dht/test_workload.py``).
 """
 
 from __future__ import annotations
@@ -13,11 +21,17 @@ import numpy as np
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["generate_keys", "zipf_lookups"]
+__all__ = ["generate_keys", "zipf_lookups", "zipf_ranks"]
 
 
 def generate_keys(m: int, seed=None, *, prefix: str = "key") -> list[str]:
     """``m`` distinct printable keys (hex-suffixed), deterministically.
+
+    Vectorized: one bulk integer draw, first-occurrence dedup via
+    ``np.unique``, one formatting pass.  The draw pattern (blocks of
+    ``2 * m``, redrawn only in the astronomically unlikely event of
+    mass collision) matches the original scalar loop exactly, so any
+    seed yields the same key list it always did.
 
     Examples
     --------
@@ -27,20 +41,36 @@ def generate_keys(m: int, seed=None, *, prefix: str = "key") -> list[str]:
     """
     m = check_positive_int(m, "m")
     rng = resolve_rng(seed)
-    suffixes = rng.integers(0, 1 << 62, size=2 * m, dtype=np.int64)
-    keys: list[str] = []
-    seen: set[int] = set()
-    i = 0
-    while len(keys) < m:
-        if i >= suffixes.size:  # pragma: no cover - astronomically unlikely
-            suffixes = rng.integers(0, 1 << 62, size=2 * m, dtype=np.int64)
-            i = 0
-        s = int(suffixes[i])
-        i += 1
-        if s not in seen:
-            seen.add(s)
-            keys.append(f"{prefix}:{s:016x}")
-    return keys
+    chosen = np.empty(0, dtype=np.int64)
+    while chosen.size < m:
+        suffixes = rng.integers(0, 1 << 62, size=2 * m, dtype=np.int64)
+        # first occurrence of each distinct suffix, in draw order
+        _, first = np.unique(suffixes, return_index=True)
+        batch = suffixes[np.sort(first)]
+        if chosen.size:  # pragma: no cover - astronomically unlikely
+            batch = batch[~np.isin(batch, chosen)]
+        chosen = np.concatenate([chosen, batch]) if chosen.size else batch
+    return [f"{prefix}:{s:016x}" for s in chosen[:m].tolist()]
+
+
+def zipf_ranks(
+    n_keys: int, n_lookups: int, *, exponent: float = 1.1, seed=None
+) -> np.ndarray:
+    """Zipf-distributed rank indices in ``[0, n_keys)`` (0 = hottest).
+
+    The sampling core shared by :func:`zipf_lookups` and the serving
+    workload (:func:`repro.serve.workload.zipf_replay_ops`): one bulk
+    ``rng.choice`` over the normalized ``rank**-exponent`` law.
+    """
+    n_keys = check_positive_int(n_keys, "n_keys")
+    n_lookups = check_positive_int(n_lookups, "n_lookups")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be > 0, got {exponent}")
+    rng = resolve_rng(seed)
+    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    return rng.choice(n_keys, size=n_lookups, p=weights)
 
 
 def zipf_lookups(
@@ -59,12 +89,5 @@ def zipf_lookups(
     """
     if not keys:
         raise ValueError("keys must be non-empty")
-    n_lookups = check_positive_int(n_lookups, "n_lookups")
-    if exponent <= 0:
-        raise ValueError(f"exponent must be > 0, got {exponent}")
-    rng = resolve_rng(seed)
-    ranks = np.arange(1, len(keys) + 1, dtype=np.float64)
-    weights = ranks**-exponent
-    weights /= weights.sum()
-    picks = rng.choice(len(keys), size=n_lookups, p=weights)
-    return [keys[i] for i in picks]
+    picks = zipf_ranks(len(keys), n_lookups, exponent=exponent, seed=seed)
+    return np.asarray(keys, dtype=object)[picks].tolist()

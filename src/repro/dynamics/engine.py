@@ -54,24 +54,14 @@ import numpy as np
 
 from repro.core.engine import DEFAULT_RNG_BLOCK, auto_batch_size, choice_blocks
 from repro.core.engine import auto_engine as _static_auto_engine
+from repro.core.incremental import IncrementalState, mixed_conflict_prefix
 from repro.core.loads import nu_profile
 from repro.core.spaces import GeometricSpace
-from repro.core.strategies import (
-    TieBreak,
-    decide_row_scalar,
-    decide_rows,
-    strategy_needs_measures,
-)
+from repro.core.strategies import TieBreak
 from repro.dynamics.events import EventKind, EventTrace
 from repro.dynamics.result import DynamicResult
-from repro.kernels import (
-    STRATEGY_CODES,
-    KernelBackend,
-    resolve_backend,
-    resolve_threads,
-)
-from repro.obs import counter_add, histogram_observe, obs_session, trace_span
-from repro.obs import enabled as obs_enabled
+from repro.kernels import KernelBackend, resolve_backend, resolve_threads
+from repro.obs import counter_add, obs_session, trace_span
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_positive_int
 
@@ -171,48 +161,17 @@ class _PredrawPipeline:
                 raise self._error
 
 
-def mixed_conflict_prefix(touched: np.ndarray, is_insert: np.ndarray) -> int:
-    """Longest event prefix decidable from the prefix-start load vector.
-
-    ``touched`` is ``(B, d)``: an insert row holds its candidate bins, a
-    delete row its target's bin broadcast ``d`` times (``-1`` when the
-    target is inserted within the same batch — its true bin is then the
-    chosen bin of that earlier insert, already accounted for by the
-    insert's candidates).  An event conflicts when it is an insert and
-    any of its bins was touched by an earlier row; deletes never
-    conflict.  Returns at least 1 for non-empty input.
-
-    Examples
-    --------
-    >>> import numpy as np
-    >>> t = np.array([[0, 1], [2, 2], [1, 3]])        # rows: ins, del, ins
-    >>> mixed_conflict_prefix(t, np.array([True, False, True]))
-    2
-    >>> mixed_conflict_prefix(t[:2], np.array([True, False]))
-    2
-    """
-    if touched.ndim != 2:
-        raise ValueError(f"touched must be 2-D, got shape {touched.shape}")
-    b, d = touched.shape
-    if b == 0:
-        return 0
-    flat = touched.ravel()
-    _, first_flat, inverse = np.unique(flat, return_index=True, return_inverse=True)
-    first_row = first_flat[inverse] // d
-    own_row = np.repeat(np.arange(b, dtype=np.int64), d)
-    conflicts = (first_row < own_row) & np.repeat(is_insert, d)
-    if not conflicts.any():
-        return b
-    return int(own_row[conflicts].min())
-
-
 class _DynamicState:
-    """Mutable simulation state shared by both engines.
+    """Trace-replay wrapper over the shared :class:`IncrementalState` core.
 
-    Everything behaviour-bearing that is not the batching itself lives
-    here — scalar event application, churn handling, topology remaps,
-    epoch snapshots — so the engines can only differ in *when* they
-    decide events, never in *how*.
+    The behaviour-bearing state — scalar event application, churn
+    handling, topology remaps — lives in
+    :class:`repro.core.incremental.IncrementalState`, which both
+    engines (and the ``repro.serve`` tier) mutate through the same
+    methods, so the engines can only differ in *when* they decide
+    events, never in *how*.  This wrapper owns what is trace-specific:
+    the pre-drawn candidate stream (optionally pipelined), epoch
+    snapshots, and result assembly.
     """
 
     def __init__(
@@ -243,7 +202,7 @@ class _DynamicState:
         rng = resolve_rng(rng)
         # spawned (not consumed) before the insert pre-draw, so the
         # insert stream matches the static engines' exactly
-        self.aux_rng = rng.spawn(1)[0]
+        aux_rng = rng.spawn(1)[0]
         if threads >= 2 and trace.num_inserts > 0:
             self._pipeline = _PredrawPipeline(
                 space, rng, trace.num_inserts, self.d, partitioned, rng_block
@@ -255,21 +214,40 @@ class _DynamicState:
             self.cands, self.us = _predraw_inserts(
                 space, rng, trace.num_inserts, self.d, partitioned, rng_block
             )
-        self.loads = np.zeros(self.n, dtype=np.int64)
-        self.ball_bin = np.full(trace.num_inserts, -1, dtype=np.int64)
-        self.active = np.ones(self.n, dtype=bool)
-        self.needs_measures = strategy_needs_measures(self.strategy)
-        self.base_measures = space.region_measures() if self.needs_measures else None
-        self.measures = self.base_measures
-        self.remap: np.ndarray | None = None  # None == identity (no churn yet)
-        self.inserts_done = 0
-        self.deletes_done = 0
+        self.core = IncrementalState(
+            space,
+            self.d,
+            self.strategy,
+            partitioned=partitioned,
+            aux_rng=aux_rng,
+            expect_balls=trace.num_inserts,
+        )
         self.record_loads = record_loads
         self._max: list[int] = []
         self._tot: list[int] = []
         self._live: list[int] = []
         self._nu: list[np.ndarray] = []
         self._snaps: list[np.ndarray] = []
+
+    @property
+    def loads(self) -> np.ndarray:
+        """The core's live per-bin load vector."""
+        return self.core.loads
+
+    @property
+    def active(self) -> np.ndarray:
+        """The core's live-bin mask."""
+        return self.core.active
+
+    @property
+    def inserts_done(self) -> int:
+        """Inserts applied so far (core counter)."""
+        return self.core.inserts_done
+
+    @property
+    def deletes_done(self) -> int:
+        """Deletes applied so far (core counter)."""
+        return self.core.deletes_done
 
     def ensure_cands(self, count: int) -> None:
         """Wait until the first ``count`` insert rows are pre-drawn.
@@ -285,87 +263,27 @@ class _DynamicState:
     # scalar event application (the sequential engine; conflict steps)
     # ------------------------------------------------------------------
     def apply_insert(self, ball: int) -> None:
-        raw = self.cands[ball]
-        cand = raw if self.remap is None else self.remap[raw]
-        row = self.loads[cand]
-        mrow = self.measures[cand] if self.needs_measures else None
-        j = decide_row_scalar(
-            row.tolist(),
-            None if mrow is None else mrow.tolist(),
-            float(self.us[ball]),
-            self.strategy,
-        )
-        chosen = int(cand[j])
-        self.loads[chosen] += 1
-        self.ball_bin[ball] = chosen
-        self.inserts_done += 1
+        self.core.insert(ball, self.cands[ball], float(self.us[ball]))
 
     def apply_delete(self, ball: int) -> None:
-        b = int(self.ball_bin[ball])
-        if b < 0:  # pragma: no cover - excluded by trace validation
-            raise RuntimeError(f"delete of unplaced ball {ball}")
-        self.loads[b] -= 1
-        self.ball_bin[ball] = -1
-        self.deletes_done += 1
+        self.core.delete(ball)
 
     # ------------------------------------------------------------------
-    # churn (shared verbatim: both engines run these scalar)
+    # churn (shared scalar code in the core: both engines run it)
     # ------------------------------------------------------------------
     def bin_leave(self, slot: int) -> None:
-        self.active[slot] = False
-        self._recompute_topology()
-        displaced = np.nonzero(self.ball_bin == slot)[0]
-        self.loads[slot] = 0
-        for ball in displaced:
-            self._replace_ball(int(ball))
+        self.core.bin_leave(slot)
 
     def bin_join(self, slot: int) -> None:
-        # the joining bin starts empty: items placed while it was away
-        # stay where they are (the two-choice DHT convention — no
-        # eager rebalancing on joins)
-        self.active[slot] = True
-        self._recompute_topology()
-
-    def _replace_ball(self, ball: int) -> None:
-        raw = self.space.sample_choice_bins(
-            self.aux_rng, 1, self.d, partitioned=self.partitioned
-        )[0]
-        cand = self.remap[raw]
-        u = float(self.aux_rng.random())
-        row = self.loads[cand]
-        mrow = self.measures[cand] if self.needs_measures else None
-        j = decide_row_scalar(
-            row.tolist(), None if mrow is None else mrow.tolist(), u, self.strategy
-        )
-        chosen = int(cand[j])
-        self.loads[chosen] += 1
-        self.ball_bin[ball] = chosen
-
-    def _recompute_topology(self) -> None:
-        """Rebuild the cyclic-successor remap and merged measures."""
-        if self.active.all():
-            self.remap = None
-            self.measures = self.base_measures
-            return
-        n = self.n
-        sentinel = 2 * n
-        cand = np.where(self.active, np.arange(n, dtype=np.int64), sentinel)
-        # next active index at or after j, wrapping to the first active
-        succ = np.minimum.accumulate(cand[::-1])[::-1]
-        first = int(np.argmax(self.active))
-        self.remap = np.where(succ >= sentinel, first, succ).astype(np.int64)
-        if self.base_measures is not None:
-            self.measures = np.bincount(
-                self.remap, weights=self.base_measures, minlength=n
-            )
+        self.core.bin_join(slot)
 
     # ------------------------------------------------------------------
     # snapshots and result assembly
     # ------------------------------------------------------------------
     def snapshot(self) -> None:
-        live_loads = self.loads[self.active]
+        live_loads = self.core.live_loads()
         self._max.append(int(live_loads.max()))
-        self._tot.append(self.inserts_done - self.deletes_done)
+        self._tot.append(self.core.occupancy)
         self._live.append(int(self.active.sum()))
         self._nu.append(nu_profile(live_loads))
         if self.record_loads:
@@ -431,97 +349,6 @@ def run_sequential_dynamic(
             state.snapshot()
             next_epoch_idx += 1
     return state.result("sequential")
-
-
-def _run_event_window(
-    state: _DynamicState,
-    kinds: np.ndarray,
-    args: np.ndarray,
-    start: int,
-    stop: int,
-    batch_size: int,
-    backend: KernelBackend | None = None,
-) -> None:
-    """Batched processing of a churn-free window of inserts/deletes.
-
-    With an accelerated kernel ``backend``, the whole window runs
-    through its ``dynamic_window`` kernel — a compiled scalar loop
-    applying events strictly in order, i.e. the sequential reference
-    semantics itself, so per-epoch trajectories are bit-identical by
-    construction.  Otherwise the mixed-event conflict-free-prefix
-    vectorization below is used.
-    """
-    if backend is not None and backend.dynamic_window is not None:
-        if obs_enabled():
-            counter_add("dynamics.kernel_windows")
-            histogram_observe("dynamics.window_events", stop - start)
-        ins, dels = backend.dynamic_window(
-            kinds,
-            args,
-            start,
-            stop,
-            state.cands,
-            state.us,
-            state.d,
-            state.remap,
-            state.loads,
-            state.measures if state.needs_measures else None,
-            STRATEGY_CODES[state.strategy.value],
-            state.ball_bin,
-        )
-        state.inserts_done += ins
-        state.deletes_done += dels
-        return
-    d = state.d
-    _obs = obs_enabled()
-    i = start
-    while i < stop:
-        end = min(i + batch_size, stop)
-        kw = kinds[i:end]
-        aw = args[i:end]
-        is_insert = kw == EventKind.INSERT
-        b = end - i
-        touched = np.empty((b, d), dtype=np.int64)
-        if is_insert.any():
-            raw = state.cands[aw[is_insert]]
-            touched[is_insert] = raw if state.remap is None else state.remap[raw]
-        if not is_insert.all():
-            touched[~is_insert] = state.ball_bin[aw[~is_insert], None]
-        prefix = mixed_conflict_prefix(touched, is_insert)
-        if _obs:
-            # the mixed-event vectorization's effectiveness in one number:
-            # how many events each conflict-free prefix actually covered
-            histogram_observe("dynamics.window_events", prefix)
-        # --- apply the conflict-free prefix from the current loads ---
-        p_ins = is_insert[:prefix]
-        ins_ids = aw[:prefix][p_ins]
-        if ins_ids.size:
-            sub = touched[:prefix][p_ins]
-            cand_loads = state.loads[sub]
-            cand_measures = state.measures[sub] if state.needs_measures else None
-            j = decide_rows(cand_loads, cand_measures, state.us[ins_ids], state.strategy)
-            chosen = sub[np.arange(ins_ids.size), j]
-            # prefix inserts have pairwise-disjoint candidates: no dups
-            state.loads[chosen] += 1
-            state.ball_bin[ins_ids] = chosen
-            state.inserts_done += int(ins_ids.size)
-        del_ids = aw[:prefix][~p_ins]
-        if del_ids.size:
-            bins = state.ball_bin[del_ids]
-            np.subtract.at(state.loads, bins, 1)
-            state.ball_bin[del_ids] = -1
-            state.deletes_done += int(del_ids.size)
-        i += prefix
-        if prefix < b:
-            # the event at `i` reads a bin the prefix touched: its
-            # decision needs the updated loads, so step it scalar
-            if _obs:
-                counter_add("dynamics.scalar_steps")
-            if is_insert[prefix]:
-                state.apply_insert(int(aw[prefix]))
-            else:
-                state.apply_delete(int(aw[prefix]))
-            i += 1
 
 
 def run_batched_dynamic(
@@ -602,7 +429,16 @@ def run_batched_dynamic(
                 stop = min(stop, int(churn_positions[churn_ptr]))
             if insert_cum is not None and stop > 0:
                 state.ensure_cands(int(insert_cum[stop - 1]))
-            _run_event_window(state, kinds, args, i, stop, batch_size, backend_obj)
+            state.core.apply_window(
+                kinds,
+                args,
+                i,
+                stop,
+                state.cands,
+                state.us,
+                batch_size=batch_size,
+                backend=backend_obj,
+            )
             i = stop
         state.snapshot()
     return state.result("batched")

@@ -25,6 +25,11 @@ per-phase time breakdown (see ``docs/observability.md``)::
 
     python -m repro.experiments obs report
 
+Replay a churn trace through the online placement service with
+latency stats (see ``docs/serving.md``)::
+
+    python -m repro.experiments serve replay --workload steady --quick
+
 List everything::
 
     python -m repro.experiments --list
@@ -109,7 +114,8 @@ def main(argv=None) -> int:
         ``sweep`` token delegates everything after it to the sweep
         subcommand (:func:`repro.sweeps.cli.main`); a leading ``obs``
         token to the observability subcommand
-        (:func:`repro.obs.cli.main`).
+        (:func:`repro.obs.cli.main`); a leading ``serve`` token to the
+        placement-service subcommand (:func:`repro.serve.cli.main`).
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -121,6 +127,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.name:
         print("available experiments:")
@@ -129,6 +139,7 @@ def main(argv=None) -> int:
         print("  all            (run everything, writing files to --out)")
         print("  sweep          (cached parameter sweeps; sweep --help)")
         print("  obs            (trace aggregation; obs --help)")
+        print("  serve          (online placement service; serve --help)")
         return 0
     cache = "off" if args.no_cache else (args.cache or "auto")
     if args.name == "all":

@@ -82,6 +82,7 @@ _log = logging.getLogger(__name__)
 __all__ = [
     "KernelBackend",
     "BACKEND_NAMES",
+    "SMALL_WINDOW_CUTOFF",
     "STRATEGY_CODES",
     "available_backends",
     "get_backend",
@@ -96,6 +97,17 @@ __all__ = [
 
 #: Names accepted by :func:`get_backend` (besides ``"auto"``).
 BACKEND_NAMES = ("numpy", "numba", "cext")
+
+#: Small-batch dispatch cutoff for mixed-event windows: at or below
+#: this many events, per-event scalar application beats both a kernel
+#: call (ctypes/numba argument marshalling) and the numpy
+#: conflict-free-prefix machinery (``np.unique`` setup), so
+#: :meth:`repro.core.incremental.IncrementalState.apply_window` — and
+#: through it the batched dynamic engine and the serving tier's
+#: single-request path — steps these windows scalar.  Dispatch-only:
+#: every tier is bit-identical, so the cutoff moves wall-clock time,
+#: never results.
+SMALL_WINDOW_CUTOFF = 16
 
 #: Integer codes the compiled kernels use for the tie-break strategy,
 #: keyed by :class:`repro.core.strategies.TieBreak` *values* (plain

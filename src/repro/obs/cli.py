@@ -26,6 +26,7 @@ from pathlib import Path
 from repro.obs.report import (
     aggregate_spans,
     format_breakdown,
+    histogram_quantiles,
     merge_metrics,
     read_trace,
 )
@@ -82,10 +83,14 @@ def _format_metrics(merged: dict) -> str:
         for key in sorted(merged["histograms"]):
             h = merged["histograms"][key]
             mean = h["total"] / h["count"] if h["count"] else 0.0
-            lines.append(
+            line = (
                 f"  {key}: count={h['count']} mean={mean:.4g} "
                 f"min={h['min']:.4g} max={h['max']:.4g}"
             )
+            p50, p95, p99 = histogram_quantiles(h, (0.5, 0.95, 0.99))
+            if p50 is not None:
+                line += f" p50={p50:.4g} p95={p95:.4g} p99={p99:.4g}"
+            lines.append(line)
     return "\n".join(lines) if lines else "(no metrics)"
 
 

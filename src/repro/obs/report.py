@@ -24,10 +24,15 @@ __all__ = [
     "aggregate_spans",
     "format_breakdown",
     "format_progress",
+    "histogram_quantiles",
     "merge_metrics",
     "progress_eta",
     "read_trace",
 ]
+
+#: Mirrors :data:`repro.obs.metrics.NONPOSITIVE_BUCKET` (kept local so
+#: this module stays import-free of the metrics registry).
+_NONPOSITIVE_BUCKET = -(1 << 30)
 
 
 def read_trace(paths: "Iterable[Path | str]") -> tuple[list[dict], list[dict]]:
@@ -123,7 +128,55 @@ def merge_metrics(records: Sequence[dict]) -> dict:
                 into["total"] += summ["total"]
                 into["min"] = min(into["min"], summ["min"])
                 into["max"] = max(into["max"], summ["max"])
+                # bucket counts sum; records predating the bucketed
+                # format simply contribute none
+                if summ.get("buckets"):
+                    merged = dict(into.get("buckets") or {})
+                    for idx, n in summ["buckets"].items():
+                        merged[idx] = merged.get(idx, 0) + n
+                    into["buckets"] = merged
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def histogram_quantiles(summary: dict, qs: Sequence[float]) -> list:
+    """Estimate quantiles from a bucketed histogram summary.
+
+    ``summary`` is one entry of a metrics snapshot (``count`` /
+    ``min`` / ``max`` / ``buckets``).  Each quantile is located in the
+    quarter-octave bucket holding its rank, interpolated
+    logarithmically within the bucket, and clamped to the exact
+    ``[min, max]`` the summary tracked.  Returns ``None`` per quantile
+    when the summary is empty or predates the bucketed format.
+
+    Examples
+    --------
+    >>> summ = {"count": 4, "min": 1.0, "max": 8.0,
+    ...         "buckets": {"0": 1, "4": 1, "8": 1, "12": 1}}
+    >>> [round(v, 2) for v in histogram_quantiles(summ, [0.0, 1.0])]
+    [1.0, 8.0]
+    """
+    count = summary.get("count", 0)
+    buckets = summary.get("buckets") or {}
+    if not count or not buckets:
+        return [None] * len(qs)
+    lo_clip, hi_clip = summary["min"], summary["max"]
+    items = sorted((int(idx), n) for idx, n in buckets.items())
+    out = []
+    for q in qs:
+        target = q * count
+        cum = 0
+        value = hi_clip
+        for idx, n in items:
+            prev, cum = cum, cum + n
+            if cum >= target:
+                if idx == _NONPOSITIVE_BUCKET:
+                    value = lo_clip
+                else:
+                    frac = (target - prev) / n if n else 0.0
+                    value = 2.0 ** ((idx - 1 + frac) / 4)
+                break
+        out.append(min(max(value, lo_clip), hi_clip))
+    return out
 
 
 def format_breakdown(aggregate: dict) -> str:

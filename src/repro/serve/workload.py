@@ -1,0 +1,88 @@
+"""Serving-tier workload synthesis: Zipf-skewed lookup/churn op streams.
+
+The benchmark and stress workload behind ``BENCH_serve.json``: after a
+warm-up phase inserts ``m_keys`` keys, the steady-state stream mixes
+Zipf-popular lookups with FIFO churn (delete the oldest live key,
+insert a fresh one), holding occupancy pinned at ``m_keys`` — the DHT
+serving regime: a stable population of keys, heavily skewed read
+traffic, steady turnover.
+
+Everything is generated up front with numpy (the vectorized
+:mod:`repro.dht.workload` helpers supply the Zipf ranks), so replaying
+the stream measures the *server*, not the generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dht.workload import zipf_ranks
+from repro.serve.server import OP_DELETE, OP_INSERT, OP_LOOKUP
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["zipf_replay_ops"]
+
+
+def zipf_replay_ops(
+    m_keys: int,
+    ops: int,
+    *,
+    lookup_fraction: float = 0.8,
+    exponent: float = 1.1,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A steady-state op stream over a standing population of ``m_keys``.
+
+    Each of the ``ops`` slots is a Zipf-ranked lookup with probability
+    ``lookup_fraction``, otherwise a churn pair (FIFO delete of the
+    oldest live ball + insert of a fresh one, so occupancy stays at
+    ``m_keys``).  Returns ``(kinds, args)`` event arrays (a churn slot
+    expands to two events) addressed by ball id: the warm-up inserts
+    are balls ``[0, m_keys)``, churn inserts continue consecutively —
+    ready for :meth:`PlacementServer.submit_ids`, or for key-based
+    submission by indexing a key population of size
+    ``m_keys + n_churn`` (``args.max() + 1``).
+
+    The lookup target of rank ``r`` (0 = hottest) at a point where
+    ``c`` churn pairs have completed is ball ``c + r`` — the live
+    window is exactly ``[c, m_keys + c)`` under FIFO churn, so the hot
+    set tracks the population as it turns over.
+
+    Examples
+    --------
+    >>> kinds, args = zipf_replay_ops(4, 6, lookup_fraction=0.5, seed=0)
+    >>> int((kinds == OP_INSERT).sum()) == int((kinds == OP_DELETE).sum())
+    True
+    """
+    m_keys = check_positive_int(m_keys, "m_keys")
+    ops = check_positive_int(ops, "ops")
+    if not 0.0 <= lookup_fraction <= 1.0:
+        raise ValueError(f"lookup_fraction must be in [0, 1], got {lookup_fraction}")
+    rng = resolve_rng(seed)
+    is_lookup = rng.random(ops) < lookup_fraction
+    n_lookups = int(is_lookup.sum())
+    ranks = (
+        zipf_ranks(m_keys, n_lookups, exponent=exponent, seed=rng)
+        if n_lookups
+        else np.empty(0, dtype=np.int64)
+    )
+    # churn pairs completed before each op slot (the FIFO cursor)
+    is_churn = ~is_lookup
+    churn_before = np.cumsum(is_churn) - is_churn
+    offsets = np.empty(ops, dtype=np.int64)
+    sizes = np.where(is_lookup, 1, 2)
+    offsets[0] = 0
+    np.cumsum(sizes[:-1], out=offsets[1:])
+    total = int(offsets[-1] + sizes[-1]) if ops else 0
+    kinds = np.empty(total, dtype=np.int8)
+    args = np.empty(total, dtype=np.int64)
+    look_pos = offsets[is_lookup]
+    kinds[look_pos] = OP_LOOKUP
+    args[look_pos] = churn_before[is_lookup] + ranks
+    churn_pos = offsets[is_churn]
+    kinds[churn_pos] = OP_DELETE
+    args[churn_pos] = churn_before[is_churn]
+    kinds[churn_pos + 1] = OP_INSERT
+    args[churn_pos + 1] = m_keys + churn_before[is_churn]
+    return kinds, args

@@ -3,7 +3,36 @@
 import numpy as np
 import pytest
 
-from repro.dht.workload import generate_keys, zipf_lookups
+from repro.dht.workload import generate_keys, zipf_lookups, zipf_ranks
+from repro.utils.rng import resolve_rng
+
+
+def _generate_keys_reference(m, seed=None, *, prefix="key"):
+    """The pre-vectorization scalar implementation (parity oracle)."""
+    rng = resolve_rng(seed)
+    keys = []
+    seen = set()
+    while len(keys) < m:
+        suffixes = rng.integers(0, 1 << 62, size=2 * m, dtype=np.int64)
+        for s in suffixes:
+            s = int(s)
+            if s in seen:
+                continue
+            seen.add(s)
+            keys.append(f"{prefix}:{s:016x}")
+            if len(keys) == m:
+                break
+    return keys
+
+
+def _zipf_lookups_reference(keys, n_lookups, *, exponent=1.1, seed=None):
+    """The pre-vectorization scalar implementation (parity oracle)."""
+    rng = resolve_rng(seed)
+    ranks = np.arange(1, len(keys) + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    picks = rng.choice(len(keys), size=n_lookups, p=weights)
+    return [keys[i] for i in picks]
 
 
 class TestGenerateKeys:
@@ -53,3 +82,42 @@ class TestZipfLookups:
     def test_rejects_bad_exponent(self):
         with pytest.raises(ValueError):
             zipf_lookups(["a"], 10, exponent=0.0)
+
+
+class TestVectorizationParity:
+    """The numpy rewrites must match the original scalar loops exactly."""
+
+    @pytest.mark.parametrize("m,seed", [(1, 0), (7, 1), (100, 42), (1000, 7)])
+    def test_generate_keys_identical(self, m, seed):
+        assert generate_keys(m, seed=seed) == _generate_keys_reference(m, seed=seed)
+
+    @pytest.mark.parametrize("n,exponent,seed", [
+        (1, 1.1, 0), (200, 1.1, 5), (1000, 0.7, 9),
+    ])
+    def test_zipf_lookups_identical(self, n, exponent, seed):
+        keys = generate_keys(50, seed=3)
+        assert zipf_lookups(keys, n, exponent=exponent, seed=seed) == \
+            _zipf_lookups_reference(keys, n, exponent=exponent, seed=seed)
+
+    def test_rng_consumption_identical(self):
+        # a shared generator advances the same either way
+        r_new, r_ref = resolve_rng(11), resolve_rng(11)
+        generate_keys(64, seed=r_new)
+        _generate_keys_reference(64, seed=r_ref)
+        assert r_new.integers(0, 1 << 30) == r_ref.integers(0, 1 << 30)
+
+
+class TestZipfRanks:
+    def test_matches_lookups(self):
+        keys = generate_keys(40, seed=0)
+        ranks = zipf_ranks(40, 100, exponent=1.3, seed=8)
+        assert zipf_lookups(keys, 100, exponent=1.3, seed=8) == \
+            [keys[i] for i in ranks]
+
+    def test_range_and_validation(self):
+        ranks = zipf_ranks(10, 500, seed=1)
+        assert ranks.min() >= 0 and ranks.max() < 10
+        with pytest.raises(ValueError):
+            zipf_ranks(0, 5)
+        with pytest.raises(ValueError):
+            zipf_ranks(5, 5, exponent=-1.0)

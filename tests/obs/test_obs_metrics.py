@@ -78,7 +78,22 @@ class TestRecording:
         for value in (2.0, 5.0, 3.0):
             histogram_observe("h", value)
         h = snapshot()["histograms"]["h"]
-        assert h == {"count": 3, "total": 10.0, "min": 2.0, "max": 5.0}
+        assert h == {
+            "count": 3,
+            "total": 10.0,
+            "min": 2.0,
+            "max": 5.0,
+            "buckets": {"4": 1, "7": 1, "10": 1},
+        }
+
+    def test_bucket_index_edges(self):
+        # bucket i covers (2**((i-1)/4), 2**(i/4)]
+        assert metrics.bucket_index(1.0) == 0
+        assert metrics.bucket_index(2.0) == 4
+        assert metrics.bucket_index(2.0001) == 5
+        assert metrics.bucket_index(0.5) == -4
+        assert metrics.bucket_index(0.0) == metrics.NONPOSITIVE_BUCKET
+        assert metrics.bucket_index(-3.0) == metrics.NONPOSITIVE_BUCKET
 
     def test_reset_clears_everything(self, obs_on):
         counter_add("c")

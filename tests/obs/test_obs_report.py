@@ -8,6 +8,7 @@ from repro.obs.report import (
     aggregate_spans,
     format_breakdown,
     format_progress,
+    histogram_quantiles,
     merge_metrics,
     progress_eta,
     read_trace,
@@ -77,14 +78,74 @@ class TestMergeMetrics:
         assert merge_metrics(records)["counters"]["c"] == 10
 
     def test_histograms_merge(self):
-        h1 = {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0}
-        h2 = {"count": 1, "total": 9.0, "min": 9.0, "max": 9.0}
+        h1 = {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0,
+              "buckets": {"0": 1, "4": 1}}
+        h2 = {"count": 1, "total": 9.0, "min": 9.0, "max": 9.0,
+              "buckets": {"13": 1}}
         records = [
             {"pid": 1, "counters": {}, "gauges": {}, "histograms": {"h": h1}},
             {"pid": 2, "counters": {}, "gauges": {}, "histograms": {"h": h2}},
         ]
         merged = merge_metrics(records)["histograms"]["h"]
-        assert merged == {"count": 3, "total": 12.0, "min": 1.0, "max": 9.0}
+        assert merged == {
+            "count": 3, "total": 12.0, "min": 1.0, "max": 9.0,
+            "buckets": {"0": 1, "4": 1, "13": 1},
+        }
+
+    def test_histograms_merge_legacy_without_buckets(self):
+        # records written before the bucketed format still merge
+        h1 = {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0}
+        h2 = {"count": 1, "total": 9.0, "min": 9.0, "max": 9.0,
+              "buckets": {"13": 1}}
+        records = [
+            {"pid": 1, "counters": {}, "gauges": {}, "histograms": {"h": h1}},
+            {"pid": 2, "counters": {}, "gauges": {}, "histograms": {"h": h2}},
+        ]
+        merged = merge_metrics(records)["histograms"]["h"]
+        assert merged["count"] == 3
+        assert merged["buckets"] == {"13": 1}
+
+
+class TestHistogramQuantiles:
+    def test_empty_or_legacy_yields_none(self):
+        assert histogram_quantiles({"count": 0, "buckets": {}}, [0.5]) == [None]
+        legacy = {"count": 3, "total": 10.0, "min": 2.0, "max": 5.0}
+        assert histogram_quantiles(legacy, [0.5, 0.99]) == [None, None]
+
+    def test_extremes_clamp_to_tracked_min_max(self):
+        summ = {"count": 4, "min": 1.0, "max": 8.0,
+                "buckets": {"0": 1, "4": 1, "8": 1, "12": 1}}
+        lo, hi = histogram_quantiles(summ, [0.0, 1.0])
+        assert lo == 1.0
+        assert hi == 8.0
+
+    def test_quarter_octave_accuracy(self):
+        # estimates from bucket counts stay within one bucket's
+        # relative width (2**0.25 ~ 19%) of the true quantiles
+        import numpy as np
+
+        from repro.obs import metrics
+
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=-8.0, sigma=1.5, size=5000)
+        metrics.set_enabled(True)
+        try:
+            metrics.reset_metrics()
+            for v in values:
+                metrics.histogram_observe("lat", float(v))
+            summ = metrics.snapshot()["histograms"]["lat"]
+        finally:
+            metrics.reset_metrics()
+            metrics.set_enabled(False)
+        for q, est in zip((0.5, 0.95, 0.99),
+                          histogram_quantiles(summ, (0.5, 0.95, 0.99))):
+            true = float(np.quantile(values, q))
+            assert true / 2**0.25 <= est <= true * 2**0.25, (q, est, true)
+
+    def test_nonpositive_bucket_maps_to_min(self):
+        summ = {"count": 2, "min": -1.0, "max": 4.0,
+                "buckets": {str(-(1 << 30)): 1, "8": 1}}
+        assert histogram_quantiles(summ, [0.25])[0] == -1.0
 
 
 class TestReadTrace:

@@ -1,0 +1,66 @@
+"""The ``serve replay`` CLI: artifacts, determinism, checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.serve.cli import main
+
+
+def _quick(*extra):
+    return ["replay", "--quick", *extra]
+
+
+class TestReplayVerb:
+    def test_smoke(self, capsys):
+        assert main(_quick()) == 0
+        out = capsys.readouterr().out
+        assert "steady replay" in out
+        assert "ops/s" in out
+
+    def test_artifact_schema(self, tmp_path):
+        out = tmp_path / "a.json"
+        assert main(_quick("--out", str(out))) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-serve-replay-v1"
+        assert payload["occupancy"] == payload["inserts"] - payload["deletes"]
+        assert len(payload["loads_blake2b"]) == 32
+        assert len(payload["series"]["max_load"]) > 0
+
+    def test_artifact_is_batch_and_backend_independent(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(_quick("--out", str(a), "--batch", "1")) == 0
+        assert main(_quick("--out", str(b), "--batch", "4096",
+                           "--backend", "numpy")) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    @pytest.mark.parametrize("workload", ["burst", "storm"])
+    def test_other_workloads(self, workload, capsys):
+        assert main(_quick("--workload", workload)) == 0
+        assert f"{workload} replay" in capsys.readouterr().out
+
+
+class TestCheckpointResume:
+    def test_resumed_artifact_identical(self, tmp_path, capsys):
+        full = tmp_path / "full.json"
+        resumed = tmp_path / "resumed.json"
+        ck = tmp_path / "ck.npz"
+        assert main(_quick("--out", str(full))) == 0
+        assert main(_quick("--checkpoint", str(ck), "--checkpoint-at", "500",
+                           "--out", str(resumed))) == 0
+        assert not resumed.exists()  # partial runs skip --out
+        assert "checkpointed at event 500" in capsys.readouterr().out
+        assert main(["replay", "--resume", str(ck),
+                     "--out", str(resumed)]) == 0
+        assert full.read_bytes() == resumed.read_bytes()
+
+    def test_resume_rejects_non_replay_file(self, tmp_path, capsys):
+        from repro.core.ring import RingSpace
+        from repro.serve import PlacementServer
+
+        path = tmp_path / "srv.npz"
+        server = PlacementServer(RingSpace.random(16, seed=0), seed=1)
+        server.insert("k")
+        server.save(path)
+        assert main(["replay", "--resume", str(path)]) == 2
+        assert "no replay parameters" in capsys.readouterr().err

@@ -1,0 +1,236 @@
+"""PlacementServer semantics: batching, queueing, keys, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core.ring import RingSpace
+from repro.serve import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_LOOKUP,
+    CandidateStream,
+    PlacementServer,
+)
+
+
+def _server(seed=7, **kwargs):
+    kwargs.setdefault("max_batch", 8)
+    return PlacementServer(RingSpace.random(16, seed=9), d=2, seed=seed, **kwargs)
+
+
+def _scalar_run(server):
+    for i in range(40):
+        server.insert(f"k{i}")
+    outs = [server.lookup(f"k{i}") for i in range(40)]
+    for i in range(0, 40, 3):
+        server.delete(f"k{i}")
+    return outs
+
+
+class TestBatchingEquivalence:
+    def test_scalar_vs_submit(self):
+        s1 = _server()
+        outs1 = _scalar_run(s1)
+        s2 = _server()
+        kinds = np.array([OP_INSERT] * 40 + [OP_LOOKUP] * 40
+                         + [OP_DELETE] * 14, dtype=np.int8)
+        keys = ([f"k{i}" for i in range(40)] * 2
+                + [f"k{i}" for i in range(0, 40, 3)])
+        res = s2.submit(kinds, keys)
+        assert list(res[40:80]) == outs1
+        assert np.array_equal(s1.loads, s2.loads)
+
+    @pytest.mark.parametrize("max_batch", [1, 2, 7, 4096])
+    def test_any_batch_size_identical(self, max_batch):
+        ref = _server(max_batch=4096)
+        _scalar_run(ref)
+        s = _server(max_batch=max_batch)
+        kinds = np.array([OP_INSERT] * 40 + [OP_LOOKUP] * 40
+                         + [OP_DELETE] * 14, dtype=np.int8)
+        keys = ([f"k{i}" for i in range(40)] * 2
+                + [f"k{i}" for i in range(0, 40, 3)])
+        s.submit(kinds, keys)
+        assert np.array_equal(ref.loads, s.loads)
+
+    def test_enqueue_flush_matches_submit(self):
+        s1 = _server()
+        outs1 = _scalar_run(s1)
+        s2 = _server(max_pending=16)
+        for i in range(40):
+            s2.enqueue(OP_INSERT, f"k{i}")
+        for i in range(40):
+            s2.enqueue(OP_LOOKUP, f"k{i}")
+        for i in range(0, 40, 3):
+            s2.enqueue(OP_DELETE, f"k{i}")
+        res = s2.flush()
+        assert list(res[40:80]) == outs1
+        assert np.array_equal(s1.loads, s2.loads)
+
+    def test_backpressure_drains_at_capacity(self):
+        s = _server(max_pending=8)
+        for i in range(8):
+            s.enqueue(OP_INSERT, f"k{i}")
+        assert s.pending == 0  # the queue drained itself
+        assert s.occupancy == 8
+        assert s.flush().size == 8
+
+    def test_scalar_ops_flush_queue_first(self):
+        s = _server()
+        s.enqueue(OP_INSERT, "a")
+        assert s.pending == 1
+        assert s.lookup("a") >= 0  # visible: the queue flushed
+        assert s.flush().size == 1
+
+
+class TestKeySemantics:
+    def test_duplicate_insert_raises(self):
+        s = _server()
+        s.insert("a")
+        with pytest.raises(KeyError):
+            s.insert("a")
+
+    def test_unknown_delete_and_lookup_raise(self):
+        s = _server()
+        with pytest.raises(KeyError):
+            s.delete("ghost")
+        with pytest.raises(KeyError):
+            s.lookup("ghost")
+
+    def test_delete_returns_freed_bin(self):
+        s = _server()
+        placed = s.insert("a")
+        assert s.delete("a") == placed
+        assert s.occupancy == 0
+        s.insert("a")  # the key can come back
+        assert s.occupancy == 1
+
+    def test_batch_results_shape(self):
+        s = _server()
+        res = s.submit(
+            np.array([OP_INSERT, OP_LOOKUP, OP_DELETE], dtype=np.int8),
+            ["a", "a", "a"],
+        )
+        assert res[0] == res[1]  # insert and lookup agree on the bin
+        assert res[2] == -1  # deletes report -1 in batch results
+
+    def test_submit_ids_requires_consecutive_inserts(self):
+        s = _server()
+        with pytest.raises(ValueError, match="consecutive"):
+            s.submit_ids(
+                np.array([OP_INSERT], dtype=np.int8),
+                np.array([5], dtype=np.int64),
+            )
+
+
+class TestChurn:
+    def test_bin_leave_relocates(self):
+        s = _server()
+        for i in range(30):
+            s.insert(f"k{i}")
+        victim = int(np.flatnonzero(s.loads > 0)[0])
+        before = s.occupancy
+        s.bin_leave(victim)
+        assert s.occupancy == before  # balls moved, none lost
+        assert s.loads[victim] == 0
+        s.bin_join(victim)
+        assert s.state.active[victim]
+
+    def test_decisions_independent_of_arrival_pattern(self):
+        # the online stream draws whole RNG blocks, so interleaving
+        # reads between inserts cannot shift later decisions
+        s1 = _server(seed=21)
+        bins1 = [s1.insert(f"k{i}") for i in range(20)]
+        s2 = _server(seed=21)
+        bins2 = []
+        for i in range(20):
+            bins2.append(s2.insert(f"k{i}"))
+            for j in range(i + 1):
+                s2.lookup(f"k{j}")
+        assert bins1 == bins2
+
+
+class TestSnapshot:
+    def test_save_load_roundtrip_continues_identically(self, tmp_path):
+        path = tmp_path / "srv.npz"
+        a = _server(seed=5)
+        for i in range(20):
+            a.insert(f"k{i}")
+        a.save(path)
+        b, _ = PlacementServer.load(path)
+        for i in range(20, 45):
+            assert a.insert(f"k{i}") == b.insert(f"k{i}")
+        assert np.array_equal(a.loads, b.loads)
+        assert a.lookup("k3") == b.lookup("k3")
+
+    def test_load_restores_key_map_and_knobs(self, tmp_path):
+        path = tmp_path / "srv.npz"
+        a = _server(seed=5, max_batch=4, max_pending=32)
+        a.insert("hello")
+        a.save(path)
+        b, _ = PlacementServer.load(path)
+        assert b.max_batch == 4 and b.max_pending == 32
+        assert b.lookup("hello") == a.lookup("hello")
+        with pytest.raises(KeyError):
+            b.insert("hello")
+
+    def test_save_flushes_queue(self, tmp_path):
+        path = tmp_path / "srv.npz"
+        a = _server(seed=5)
+        a.enqueue(OP_INSERT, "queued")
+        a.save(path)
+        b, _ = PlacementServer.load(path)
+        assert b.lookup("queued") >= 0
+
+    def test_extra_payload_roundtrip(self, tmp_path):
+        path = tmp_path / "srv.npz"
+        a = _server(seed=5)
+        a.insert("x")
+        a.save(path, extra_arrays={"series": np.arange(3)},
+               extra_meta={"tag": "t1"})
+        _, extra = PlacementServer.load(path)
+        assert extra["meta"]["tag"] == "t1"
+        assert np.array_equal(extra["arrays"]["series"], np.arange(3))
+
+
+class TestLatencyStats:
+    def test_counts_and_ordering(self):
+        s = _server()
+        for i in range(10):
+            s.insert(f"k{i}")
+        st = s.latency_stats()
+        assert st.count == 10
+        assert 0 < st.p50_s <= st.p95_s <= st.p99_s <= st.max_s
+        assert st.ops_per_s > 0
+        assert "ops/s" in st.format()
+
+    def test_empty_stats(self):
+        st = _server().latency_stats()
+        assert st.count == 0 and st.ops_per_s == 0.0
+
+    def test_reset(self):
+        s = _server()
+        s.insert("a")
+        s.reset_latency()
+        assert s.latency_stats().count == 0
+
+
+class TestValidation:
+    def test_pending_must_cover_batch(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            _server(max_batch=64, max_pending=8)
+
+    def test_prebuilt_state_needs_stream(self):
+        from repro.core.incremental import IncrementalState
+
+        space = RingSpace.random(16, seed=9)
+        state = IncrementalState(space, 2, "random")
+        with pytest.raises(ValueError, match="stream"):
+            PlacementServer(space, 2, state=state)
+
+    def test_predrawn_stream_exhaustion(self):
+        space = RingSpace.random(16, seed=9)
+        stream = CandidateStream.predrawn(
+            np.zeros((2, 2), dtype=np.int64), np.zeros(2)
+        )
+        with pytest.raises(RuntimeError, match="exhausted"):
+            stream.ensure(3)

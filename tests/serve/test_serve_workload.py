@@ -1,0 +1,67 @@
+"""zipf_replay_ops: stream structure, liveness, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.ring import RingSpace
+from repro.serve import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_LOOKUP,
+    PlacementServer,
+    zipf_replay_ops,
+)
+
+
+class TestStreamStructure:
+    def test_churn_pairs_balance(self):
+        kinds, args = zipf_replay_ops(100, 500, lookup_fraction=0.5, seed=0)
+        assert (kinds == OP_INSERT).sum() == (kinds == OP_DELETE).sum()
+        assert kinds.dtype == np.int8 and args.dtype == np.int64
+
+    def test_expansion_size(self):
+        kinds, _ = zipf_replay_ops(100, 500, lookup_fraction=0.5, seed=0)
+        n_lookups = int((kinds == OP_LOOKUP).sum())
+        n_churn = int((kinds == OP_INSERT).sum())
+        assert n_lookups + 2 * n_churn == kinds.size
+        assert n_lookups + n_churn == 500
+
+    def test_all_lookups(self):
+        kinds, args = zipf_replay_ops(50, 200, lookup_fraction=1.0, seed=1)
+        assert (kinds == OP_LOOKUP).all()
+        assert args.min() >= 0 and args.max() < 50
+
+    def test_all_churn(self):
+        kinds, args = zipf_replay_ops(50, 100, lookup_fraction=0.0, seed=1)
+        assert kinds.size == 200
+        # strict delete-then-insert alternation, FIFO delete order
+        assert (kinds[0::2] == OP_DELETE).all()
+        assert (kinds[1::2] == OP_INSERT).all()
+        assert np.array_equal(args[0::2], np.arange(100))
+        assert np.array_equal(args[1::2], 50 + np.arange(100))
+
+    def test_deterministic(self):
+        a = zipf_replay_ops(64, 300, seed=9)
+        b = zipf_replay_ops(64, 300, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_replay_ops(0, 10)
+        with pytest.raises(ValueError):
+            zipf_replay_ops(10, 10, lookup_fraction=1.5)
+
+
+class TestLiveness:
+    def test_stream_replays_cleanly(self):
+        # every lookup/delete targets a live ball; occupancy is pinned
+        m = 150
+        kinds, args = zipf_replay_ops(m, 400, lookup_fraction=0.7, seed=3)
+        server = PlacementServer(RingSpace.random(64, seed=0), seed=1,
+                                 max_batch=64)
+        server.submit_ids(np.full(m, OP_INSERT, dtype=np.int8),
+                          np.arange(m, dtype=np.int64))
+        res = server.submit_ids(kinds, args)
+        assert server.occupancy == m
+        looked = res[kinds == OP_LOOKUP]
+        assert (looked >= 0).all()  # every lookup found a placed ball

@@ -9,8 +9,8 @@ Two independent checks, both stdlib-only so they run anywhere:
    suffixes are stripped before the existence check).
 2. **Docstring coverage** — every module, public class, and public
    function/method in the :data:`DOCSTRING_PACKAGES` public APIs
-   (currently ``repro.sweeps``, ``repro.kernels``, ``repro.obs`` and
-   ``repro.core``) must carry a
+   (currently ``repro.sweeps``, ``repro.kernels``, ``repro.obs``,
+   ``repro.core`` and ``repro.serve``) must carry a
    docstring (the pydocstyle D1xx family, implemented via ``ast`` so
    no third-party dependency is needed).
 
@@ -36,6 +36,7 @@ DOCSTRING_PACKAGES = (
     "src/repro/kernels",
     "src/repro/obs",
     "src/repro/core",
+    "src/repro/serve",
 )
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
