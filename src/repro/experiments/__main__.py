@@ -115,7 +115,9 @@ def main(argv=None) -> int:
         subcommand (:func:`repro.sweeps.cli.main`); a leading ``obs``
         token to the observability subcommand
         (:func:`repro.obs.cli.main`); a leading ``serve`` token to the
-        placement-service subcommand (:func:`repro.serve.cli.main`).
+        placement-service subcommand (:func:`repro.serve.cli.main`);
+        a leading ``net`` token to the overlay-simulator subcommand
+        (:func:`repro.net.cli.main`).
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -131,6 +133,10 @@ def main(argv=None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "net":
+        from repro.net.cli import main as net_main
+
+        return net_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.name:
         print("available experiments:")
@@ -140,6 +146,7 @@ def main(argv=None) -> int:
         print("  sweep          (cached parameter sweeps; sweep --help)")
         print("  obs            (trace aggregation; obs --help)")
         print("  serve          (online placement service; serve --help)")
+        print("  net            (message-level overlay simulator; net --help)")
         return 0
     cache = "off" if args.no_cache else (args.cache or "auto")
     if args.name == "all":

@@ -1,0 +1,146 @@
+"""``net_churn``: overlay health under churn, measured message by message.
+
+Every other experiment treats placement analytically; this one replays
+churn-storm traces through the :mod:`repro.net` protocol simulator and
+tabulates what the overlay actually delivers while unstable: lookup
+hop counts (against the ``~½·log₂ n`` analytic expectation of the
+stable ring), ring repair latency after abrupt deaths, replicated-key
+load skew, and whether the ring-invariant checker finds an exact ring
+once stabilization quiesces.
+
+Cells are cached through the sweep-layer result cache keyed on the
+full parameter record — a :func:`repro.net.driver.run_trace` run is
+deterministic, so a cached payload is byte-identical to a recomputed
+one (the determinism pin in ``tests/net`` relies on exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dynamics.events import churn_storm_trace
+from repro.experiments.report import TextReport
+from repro.net.driver import run_trace
+from repro.net.simulator import NetConfig
+from repro.sweeps.runner import resolve_cache
+from repro.utils.rng import stable_hash_seed
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_positive_int
+
+__all__ = ["run", "DEFAULT_PEERS", "FULL_PEERS"]
+
+DEFAULT_PEERS = (64, 192)
+FULL_PEERS = (64, 256, 1024)
+
+#: storm shape (fractions of the peer count; see :func:`_cell_params`)
+_WAVES = 2
+_LEAVE_FRACTION = 0.1
+_FINGERS = 24
+
+
+def _cell_params(peers: int, seed: int) -> dict:
+    """The full, cache-keying parameter record of one cell."""
+    return {
+        "kind": "net_churn",
+        "peers": peers,
+        "keys": 2 * peers,
+        "waves": _WAVES,
+        "leave_fraction": _LEAVE_FRACTION,
+        "pairs_per_wave": max(1, peers // 8),
+        "n_fingers": _FINGERS,
+        "lookups_per_epoch": 16,
+        "graceful_fraction": 0.5,
+        "seed": seed,
+    }
+
+
+def _run_cell(params: dict) -> dict:
+    """Replay one storm cell; returns the deterministic result payload."""
+    trace = churn_storm_trace(
+        params["peers"],
+        params["keys"],
+        waves=params["waves"],
+        leave_fraction=params["leave_fraction"],
+        pairs_per_wave=params["pairs_per_wave"],
+        policy="random",
+        seed=stable_hash_seed(params["seed"], "net-churn-trace"),
+    )
+    result = run_trace(
+        trace,
+        cfg=NetConfig(n_fingers=params["n_fingers"]),
+        seed=params["seed"],
+        graceful_fraction=params["graceful_fraction"],
+        lookups_per_epoch=params["lookups_per_epoch"],
+        check="full",
+    )
+    return result.to_payload()
+
+
+def run(
+    *,
+    peers_values=None,
+    seed: int = 20030206,
+    cache="auto",
+    full: bool = False,
+) -> TextReport:
+    """Overlay churn-storm sweep over ring sizes (``full=True`` scales up).
+
+    Each cell replays a seeded storm (waves of abrupt/graceful
+    departures and rejoins under standing replicated load) through
+    :func:`repro.net.driver.run_trace` and reports measured hop
+    counts, repair latency, load skew, and the invariant verdict.
+    """
+    if peers_values is None:
+        peers_values = FULL_PEERS if full else DEFAULT_PEERS
+    store = resolve_cache(cache)
+    sw = Stopwatch()
+    lines: list[str] = []
+    data: dict = {}
+    ring_ok_all = True
+    for peers in peers_values:
+        check_positive_int(peers, "peers")
+        params = _cell_params(int(peers), seed)
+        payload = None
+        if store is not None:
+            hit = store.get(params)
+            if hit is not None:
+                payload = hit["payload"]
+        if payload is None:
+            with sw.lap(f"peers={peers}"):
+                payload = _run_cell(params)
+            if store is not None:
+                store.put(params, payload)
+        data[int(peers)] = payload
+        hops = payload["metrics"]["hops"]
+        rep = payload["metrics"]["repair"]
+        stats = (payload["invariants"] or {}).get("stats", {})
+        ring_ok = (stats.get("succ_mismatch", 1) == 0
+                   and stats.get("pred_mismatch", 1) == 0
+                   and stats.get("finger_mismatch", 1) == 0)
+        ring_ok_all &= ring_ok
+        lost = stats.get("keys_lost", 0)
+        checked = stats.get("keys_checked", 0)
+        lines.append(
+            f"n={peers:>6}: hops mean {hops['mean']:.2f} "
+            f"(analytic ~{0.5 * math.log2(peers):.2f}) max {hops['max']}, "
+            f"repair p99 {rep['p99']:.0f} ticks over {rep['count']} splices, "
+            f"skew {payload['skew']['skew']:.2f}, "
+            f"ring {'exact' if ring_ok else 'BROKEN'}, "
+            f"keys {checked - lost}/{checked} "
+            f"[{payload['meta']['messages']} msgs, digest {payload['digest'][:12]}]"
+        )
+    lines.append(
+        "ring invariants: "
+        + ("all exact after quiescence" if ring_ok_all
+           else "VIOLATIONS FOUND (see payload)")
+        + "; a storm wave may exceed the replication bound, so lost keys"
+        " are reported, not asserted"
+    )
+    return TextReport(
+        name="net_churn",
+        title="Overlay churn storms: measured hops, repair latency, load skew",
+        lines=lines,
+        data=data,
+        meta={"seed": seed, "peers": list(peers_values),
+              "seconds": round(sw.total, 2)},
+    )

@@ -28,6 +28,7 @@ def _load() -> dict[str, Callable]:
         ablations,
         dynamic_churn,
         lemma_validation,
+        net_churn,
         table1,
         table2,
         table3,
@@ -41,6 +42,7 @@ def _load() -> dict[str, Callable]:
         "fig1_lemma8": lemma_validation.run,
         "theory_vs_sim": theory_check.run,
         "dynamic_churn": dynamic_churn.run,
+        "net_churn": net_churn.run,
         "ablation_tiebreak": ablations.tiebreak_sweep,
         "ablation_mn": ablations.mn_sweep,
         "ablation_dim": ablations.dimension_sweep,

@@ -44,6 +44,7 @@ DEFAULT_PLAN: dict[str, tuple[str, dict]] = {
     "ablation_geometry": ("ablation_geometry", dict(trials=50)),
     "ablation_staleness": ("ablation_staleness", dict(trials=30)),
     "dynamic_churn": ("dynamic_churn", dict(trials=25)),
+    "net_churn": ("net_churn", dict()),
 }
 
 #: kwargs silently dropped when a driver's signature does not accept

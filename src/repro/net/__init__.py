@@ -1,0 +1,57 @@
+"""``repro.net``: a message-level DHT overlay simulator.
+
+Everything else in the repo treats routing analytically —
+:mod:`repro.dht` computes successor and finger hops on a frozen ring.
+This package simulates the *protocol*: peers exchange join/leave
+handshakes, stabilize/notify rounds, successor-list repair, ping and
+timeout failure detection, and routed lookups over a seeded
+discrete-event loop, so lookup hop counts, ring repair latency, and
+key-load skew can be measured **while the overlay is unstable** — the
+regime the churn traces of :mod:`repro.dynamics` were built to feed.
+
+Layout (see ``docs/networking.md``):
+
+:mod:`repro.net.messages`
+    Structure-of-arrays message batches and the chained-digest
+    :class:`~repro.net.messages.EventLog` behind the determinism pin.
+:mod:`repro.net.simulator`
+    :class:`~repro.net.simulator.NetSim` — vectorized per-tick batch
+    delivery feasible at 10\\ :sup:`5` peers — and its
+    :class:`~repro.net.simulator.NetConfig` knobs.
+:mod:`repro.net.invariants`
+    :func:`~repro.net.invariants.check_invariants` — protocol state
+    vs ring-arithmetic ground truth (the ``tests/net`` harness).
+:mod:`repro.net.driver`
+    :func:`~repro.net.driver.run_trace` — replay a
+    :class:`~repro.dynamics.events.EventTrace` as protocol traffic.
+:mod:`repro.net.stats`
+    :class:`~repro.net.stats.NetMetrics`, load skew, and the
+    :mod:`repro.obs` bridge.
+:mod:`repro.net.cli`
+    ``python -m repro.experiments net smoke`` — seeded churn-storm
+    smoke runs with the invariant checker.
+"""
+
+from repro.net.driver import NetResult, ball_key, fast_config, run_trace
+from repro.net.invariants import InvariantReport, check_invariants
+from repro.net.messages import EventLog, FindMode, MsgBatch, MsgKind
+from repro.net.simulator import NetConfig, NetSim
+from repro.net.stats import NetMetrics, emit_obs, load_skew
+
+__all__ = [
+    "NetConfig",
+    "NetSim",
+    "MsgKind",
+    "FindMode",
+    "MsgBatch",
+    "EventLog",
+    "NetMetrics",
+    "load_skew",
+    "emit_obs",
+    "InvariantReport",
+    "check_invariants",
+    "NetResult",
+    "run_trace",
+    "fast_config",
+    "ball_key",
+]

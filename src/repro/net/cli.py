@@ -1,0 +1,127 @@
+"""The ``net`` subcommand of ``python -m repro.experiments``.
+
+One verb so far::
+
+    # churn-storm smoke: build a storm trace, replay it as protocol
+    # messages, quiesce, and run the ring-invariant checker
+    python -m repro.experiments net smoke --peers 1000 --waves 3
+
+The smoke prints the run summary (hop stats, repair latency, load
+skew, message counts, event-log digest) and exits non-zero when the
+invariant checker finds a violation — which is what the CI ``net``
+job keys off.  ``--fast`` switches to :func:`repro.net.driver.fast_config`
+(no key storage, analytic finger refresh) for the 10\\ :sup:`5`-peer
+storm that would otherwise not fit a CI budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dynamics.events import churn_storm_trace
+from repro.net.driver import fast_config, run_trace
+from repro.net.simulator import NetConfig
+from repro.utils.rng import stable_hash_seed
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``net`` subcommand parser (currently the ``smoke`` verb)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments net",
+        description="Message-level overlay simulator: churn-storm smoke runs.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    sm = sub.add_parser(
+        "smoke", help="replay a churn storm through the simulator and check it"
+    )
+    sm.add_argument("--peers", type=int, default=1000,
+                    help="overlay size (default 1000)")
+    sm.add_argument("--keys", type=int, default=256,
+                    help="standing stored keys (ignored with --fast)")
+    sm.add_argument("--waves", type=int, default=3,
+                    help="failure/recovery waves (default 3)")
+    sm.add_argument("--leave-fraction", type=float, default=0.1,
+                    help="fraction of peers departing per wave (default 0.1)")
+    sm.add_argument("--pairs", type=int, default=16,
+                    help="key churn pairs per wave (default 16)")
+    sm.add_argument("--graceful-fraction", type=float, default=0.5,
+                    help="probability a departure announces itself "
+                    "(0 = every departure is an abrupt death)")
+    sm.add_argument("--lookups", type=int, default=32,
+                    help="measurement lookups per epoch (default 32)")
+    sm.add_argument("--seed", type=int, default=0, help="master seed")
+    sm.add_argument("--check", choices=("full", "ring", "off"), default="ring",
+                    help="invariant pass (default ring: a storm wave kills "
+                    "more peers than the replication degree covers, so key "
+                    "loss is legitimate there; use full for bounded churn)")
+    sm.add_argument("--fingers", type=int, default=None,
+                    help="finger-table width override")
+    sm.add_argument("--fast", action="store_true",
+                    help="mega-peer mode: no key storage, analytic "
+                    "finger refresh (see repro.net.fast_config)")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code (1 = invariants failed)."""
+    args = build_parser().parse_args(argv)
+    overrides = {}
+    if args.fingers is not None:
+        overrides["n_fingers"] = args.fingers
+    cfg = fast_config(**overrides) if args.fast else NetConfig(**overrides)
+    trace = churn_storm_trace(
+        args.peers,
+        0 if args.fast else args.keys,
+        waves=args.waves,
+        leave_fraction=args.leave_fraction,
+        pairs_per_wave=0 if args.fast else args.pairs,
+        policy="random",
+        seed=stable_hash_seed(args.seed, "net-smoke-trace"),
+    )
+    result = run_trace(
+        trace,
+        cfg=cfg,
+        seed=args.seed,
+        graceful_fraction=args.graceful_fraction,
+        lookups_per_epoch=args.lookups,
+        check=args.check,
+    )
+    m = result.metrics
+    hops = m["hops"]
+    rep = m["repair"]
+    print(
+        f"net smoke: {result.n_slots} peers, {result.events} trace events, "
+        f"{result.ticks} ticks, {result.meta['messages']} messages"
+    )
+    print(
+        f"  lookups: {hops['count']} resolved "
+        f"(mean {hops['mean']:.2f} hops, max {hops['max']}, "
+        f"p99 {hops['p99']:.0f}); {m['failed_lookups']} failed"
+    )
+    print(
+        f"  repairs: {rep['count']} splices "
+        f"(mean {rep['mean']:.1f} ticks, p99 {rep['p99']:.0f}); "
+        f"{m['deaths']} deaths, {m['leaves']} leaves, {m['joins']} joins"
+    )
+    print(
+        f"  load skew: {result.skew['skew']:.2f} "
+        f"(max {result.skew['max']} / mean {result.skew['mean']:.1f}), "
+        f"digest {result.digest}"
+    )
+    if result.invariants is None:
+        print("  invariants: skipped")
+        return 0
+    if result.invariants.ok:
+        print(f"  invariants: ok {result.invariants.stats}")
+        return 0
+    print(f"  invariants: FAILED {result.invariants.stats}", file=sys.stderr)
+    for line in result.invariants.violations[:10]:
+        print(f"    {line}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

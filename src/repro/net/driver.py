@@ -1,0 +1,293 @@
+"""Drive a :class:`~repro.net.simulator.NetSim` from a churn EventTrace.
+
+This is the bridge between the churn *scenarios* of
+:mod:`repro.dynamics` and the message-level overlay: the same
+:class:`~repro.dynamics.events.EventTrace` that feeds the analytic
+dynamic engines replays here as real protocol activity —
+
+* ``INSERT`` → a routed, replicated key store (the ball id hashes to a
+  ring key via :func:`repro.dht.hashing.key_id`);
+* ``DELETE`` → a routed erase;
+* ``BIN_LEAVE`` → a peer departure, *graceful* (announce + key
+  handoff) or an *abrupt kill* (silence, discovered by timeouts) per a
+  seeded coin with ``graceful_fraction`` bias;
+* ``BIN_JOIN`` → a join handshake through a random alive bootstrap.
+
+After each epoch's events land, ``lookups_per_epoch`` seeded lookups
+are issued from random alive peers — *while the ring is unstable* —
+so the hop-count distribution includes the degraded regime, which is
+the measurement the analytic layer cannot make.  After the last epoch
+the run stabilizes to quiescence, the invariant checker compares the
+protocol state to ring-arithmetic ground truth, and everything is
+folded into a deterministic :class:`NetResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dht.hashing import key_id
+from repro.dynamics.events import EventKind, EventTrace
+from repro.net.invariants import InvariantReport, check_invariants
+from repro.net.simulator import NetConfig, NetSim
+from repro.net.stats import emit_obs, load_skew
+from repro.obs import trace_span
+from repro.utils.rng import resolve_rng, stable_hash_seed
+
+__all__ = ["NetResult", "fast_config", "run_trace", "ball_key"]
+
+
+def ball_key(ball: int) -> int:
+    """Deterministic ring key of trace ball ``ball`` (odd ⇒ never a node id)."""
+    return int(key_id(f"ball-{int(ball)}")) | 1
+
+
+def fast_config(**overrides) -> NetConfig:
+    """A :class:`NetConfig` tuned for mega-peer routing smokes.
+
+    Key storage is off and message-driven finger repair is replaced by
+    the analytic :meth:`~repro.net.simulator.NetSim.rebuild_fingers`
+    refresh the driver applies after each epoch — the documented
+    shortcut that keeps 10\\ :sup:`5`-peer storms inside a CI budget
+    while the protocol still performs ring repair message by message.
+    """
+    base = dict(with_keys=False, fix_fingers_per_round=0, n_fingers=32)
+    base.update(overrides)
+    return NetConfig(**base)
+
+
+@dataclass
+class NetResult:
+    """Deterministic outcome of one :func:`run_trace` call."""
+
+    digest: str
+    metrics: dict
+    skew: dict
+    invariants: InvariantReport | None
+    ticks: int
+    alive: int
+    n_slots: int
+    events: int
+    meta: dict = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """JSON-serializable payload (what the sweep cache stores)."""
+        inv = None
+        if self.invariants is not None:
+            inv = {
+                "ok": self.invariants.ok,
+                "violations": list(self.invariants.violations),
+                "stats": dict(self.invariants.stats),
+            }
+        return {
+            "digest": self.digest,
+            "metrics": self.metrics,
+            "skew": self.skew,
+            "invariants": inv,
+            "ticks": self.ticks,
+            "alive": self.alive,
+            "n_slots": self.n_slots,
+            "events": self.events,
+            "meta": self.meta,
+        }
+
+
+def _settle_ticks(cfg: NetConfig) -> int:
+    """Quiet window guaranteeing a full finger-repair cycle has passed."""
+    if cfg.fix_fingers_per_round > 0:
+        cycle = -(-cfg.n_fingers // cfg.fix_fingers_per_round)  # ceil
+        return cfg.period * (cycle + 2)
+    return 3 * cfg.period
+
+
+def run_trace(
+    trace: EventTrace,
+    *,
+    cfg: NetConfig | None = None,
+    seed=0,
+    graceful_fraction: float = 0.5,
+    lookups_per_epoch: int = 32,
+    epoch_ticks: int | None = None,
+    check: str = "full",
+    max_ticks: int = 200_000,
+) -> NetResult:
+    """Replay ``trace`` as protocol messages and measure the overlay.
+
+    Parameters
+    ----------
+    trace:
+        A :class:`~repro.dynamics.events.EventTrace`; ``n_slots`` sets
+        the peer population (all alive at tick 0, fully stabilized).
+    cfg:
+        Simulator knobs; default :class:`NetConfig` (key storage on).
+        With ``with_keys=False`` (see :func:`fast_config`) inserts and
+        deletes in the trace are skipped and lookups target random
+        identifiers instead of stored keys.
+    seed:
+        Master seed; node identifiers, graceful/abrupt coins,
+        bootstrap picks, and lookup traffic all derive from it via
+        :func:`~repro.utils.rng.stable_hash_seed`.
+    graceful_fraction:
+        Probability that a ``BIN_LEAVE`` departs gracefully instead of
+        dying abruptly (0 = every departure is a kill).
+    lookups_per_epoch:
+        Measurement lookups issued right after each epoch's events,
+        i.e. against the not-yet-repaired ring.
+    epoch_ticks:
+        Simulated ticks between epochs (default ``2 * cfg.period``).
+    check:
+        Final invariant pass: ``"full"`` (ring + fingers + stored
+        keys), ``"ring"`` (no key check), or ``"off"``.
+    max_ticks:
+        Abort bound for the final quiescence run.
+    """
+    if trace.n_slots is None:
+        raise ValueError("trace has no n_slots; net replay needs a peer count")
+    if check not in ("full", "ring", "off"):
+        raise ValueError(f"unknown check mode: {check!r}")
+    with trace_span(
+        "net.run_trace",
+        peers=int(trace.n_slots),
+        events=int(trace.kinds.size),
+        check=check,
+    ):
+        return _run_trace(
+            trace,
+            cfg=cfg,
+            seed=seed,
+            graceful_fraction=graceful_fraction,
+            lookups_per_epoch=lookups_per_epoch,
+            epoch_ticks=epoch_ticks,
+            check=check,
+            max_ticks=max_ticks,
+        )
+
+
+def _run_trace(
+    trace: EventTrace,
+    *,
+    cfg: NetConfig | None,
+    seed,
+    graceful_fraction: float,
+    lookups_per_epoch: int,
+    epoch_ticks: int | None,
+    check: str,
+    max_ticks: int,
+) -> NetResult:
+    """The :func:`run_trace` body, running inside its root trace span."""
+    cfg = cfg or NetConfig()
+    sim = NetSim.stable(trace.n_slots, cfg=cfg,
+                        seed=stable_hash_seed(seed, "net-ids"))
+    rng = resolve_rng(stable_hash_seed(seed, "net-driver"))
+    step = 2 * cfg.period if epoch_ticks is None else int(epoch_ticks)
+    kinds = trace.kinds
+    args = trace.args
+    live_balls: list[int] = []
+    ball_pos: dict[int, int] = {}
+    start = 0
+    for end in trace.epoch_ends.tolist():
+        inserts: list[int] = []
+        erases: list[int] = []
+        wave: list[int] = []
+
+        def flush_wave() -> None:
+            # one coin per departure: graceful announce vs abrupt kill;
+            # consecutive kills land as one simultaneous failure wave
+            if not wave:
+                return
+            coins = rng.random(len(wave))
+            abrupt = [s for s, c in zip(wave, coins) if c >= graceful_fraction]
+            for s, c in zip(wave, coins):
+                if c < graceful_fraction:
+                    sim.leave(s)
+            if abrupt:
+                sim.kill_many(abrupt)
+            wave.clear()
+
+        for e in range(start, int(end)):
+            kind, arg = int(kinds[e]), int(args[e])
+            if kind == EventKind.INSERT:
+                ball_pos[arg] = len(live_balls)
+                live_balls.append(arg)
+                inserts.append(arg)
+            elif kind == EventKind.DELETE:
+                pos = ball_pos.pop(arg)
+                last = live_balls.pop()
+                if pos < len(live_balls):
+                    live_balls[pos] = last
+                    ball_pos[last] = pos
+                erases.append(arg)
+            elif kind == EventKind.BIN_LEAVE:
+                wave.append(arg)
+            else:  # BIN_JOIN — rejoin of a slot possibly in the wave
+                flush_wave()
+                sim.join(arg, _pick_alive(sim, rng))
+        flush_wave()
+        if sim.store is not None:
+            if inserts:
+                keys = [ball_key(b) for b in inserts]
+                sim.put_many(_pick_alive(sim, rng, len(inserts)), keys)
+            if erases:
+                keys = [ball_key(b) for b in erases]
+                sim.erase_many(_pick_alive(sim, rng, len(erases)), keys)
+        if lookups_per_epoch > 0:
+            _issue_lookups(sim, rng, lookups_per_epoch, live_balls)
+        if cfg.fix_fingers_per_round == 0:
+            sim.run(step)
+            sim.rebuild_fingers()
+        else:
+            sim.run(step)
+        start = int(end)
+    ticks = sim.run_until_quiescent(max_ticks=max_ticks,
+                                    settle=_settle_ticks(cfg))
+    if cfg.fix_fingers_per_round == 0:
+        sim.rebuild_fingers()
+    report = None
+    if check != "off":
+        keys = None
+        if check == "full" and sim.store is not None:
+            keys = sorted(ball_key(b) for b in live_balls)
+        report = check_invariants(sim, keys=keys, fingers="exact")
+    emit_obs(sim, experiment="net_churn")
+    return NetResult(
+        digest=sim.log.digest(),
+        metrics=sim.metrics.summary(),
+        skew=load_skew(sim),
+        invariants=report,
+        ticks=sim.tick,
+        alive=sim.alive_count,
+        n_slots=sim.S,
+        events=int(trace.kinds.size),
+        meta={
+            "seed": int(seed) if np.isscalar(seed) else None,
+            "graceful_fraction": float(graceful_fraction),
+            "lookups_per_epoch": int(lookups_per_epoch),
+            "quiesce_ticks": int(ticks),
+            "messages": int(sim.log.total),
+            "message_counts": dict(sim.log.counts),
+        },
+    )
+
+
+def _pick_alive(sim: NetSim, rng, size: int | None = None):
+    """Seeded draw of alive slot(s); scalar int when ``size`` is None."""
+    av = np.flatnonzero(sim.alive)
+    idx = rng.integers(0, av.size, size=1 if size is None else size)
+    picked = av[idx]
+    return int(picked[0]) if size is None else picked.astype(np.int64)
+
+
+def _issue_lookups(sim: NetSim, rng, count: int, live_balls: list[int]) -> None:
+    """Issue ``count`` seeded lookups from random alive peers."""
+    starts = _pick_alive(sim, rng, count)
+    if sim.store is not None and live_balls:
+        picks = rng.integers(0, len(live_balls), size=count)
+        keys = np.array([ball_key(live_balls[int(i)]) for i in picks],
+                        dtype=np.uint64)
+    else:
+        keys = rng.integers(0, 1 << 63, size=count,
+                            dtype=np.int64).astype(np.uint64) * np.uint64(2) \
+            + np.uint64(1)
+    sim.lookup_batch(starts, keys)

@@ -1,0 +1,158 @@
+"""Ring-invariant checker: the ground truth the protocol must converge to.
+
+Because :class:`~repro.net.simulator.NetSim` assigns slots in ascending
+identifier order, the *true* overlay for any alive-set is pure
+arithmetic: the successor of alive slot ``av[i]`` is ``av[(i+1) % a]``,
+and the correct finger for target ``t`` is ``searchsorted`` over the
+alive identifiers.  :func:`check_invariants` compares the
+protocol-maintained state (successor lists, predecessors, finger
+tables, key placement) against that ground truth and returns a
+:class:`InvariantReport` listing every divergence.
+
+The ``tests/net`` property harness runs this after
+``run_until_quiescent`` on randomized seeded join/leave/death
+schedules; the CI storm smoke runs it after mass failure.  Invariants
+checked:
+
+1. **Successor-ring consistency** — every alive peer's successor list
+   equals the next ``L`` alive peers in ring order (cyclically), and
+   its predecessor is the previous alive peer.
+2. **Finger-table reachability** — every finger entry is the true
+   successor of its target among the alive peers (``mode="exact"``),
+   or at least an alive peer (``mode="alive"``, for runs quiesced for
+   less than a full fix-finger cycle).
+3. **No lost keys** — every reference key is held by its current true
+   owner (so any correctly-routed lookup resolves it), with the
+   observed replication degree reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["InvariantReport", "check_invariants"]
+
+_MAX_VIOLATIONS = 25
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one :func:`check_invariants` pass."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def raise_if_failed(self) -> None:
+        """Raise ``AssertionError`` with the violation list when not ok."""
+        if not self.ok:
+            shown = "\n  ".join(self.violations)
+            raise AssertionError(
+                f"{len(self.violations)}+ ring invariant violations:\n  {shown}"
+            )
+
+
+def _note(report: InvariantReport, msg: str) -> None:
+    if len(report.violations) < _MAX_VIOLATIONS:
+        report.violations.append(msg)
+    report.ok = False
+
+
+def check_invariants(sim, *, keys=None, fingers: str = "exact") -> InvariantReport:
+    """Compare ``sim``'s protocol state against ring-arithmetic ground truth.
+
+    Parameters
+    ----------
+    sim:
+        A :class:`~repro.net.simulator.NetSim`, normally after
+        :meth:`~repro.net.simulator.NetSim.run_until_quiescent`.
+    keys:
+        Optional iterable of reference keys that must all be resolvable
+        (held by their true owner).  Requires ``with_keys`` state.
+    fingers:
+        ``"exact"`` — every entry equals the true successor of its
+        target; ``"alive"`` — every entry is merely an alive peer
+        (or unknown); ``"off"`` — skip finger checks.
+    """
+    if fingers not in ("exact", "alive", "off"):
+        raise ValueError(f"unknown fingers mode: {fingers!r}")
+    report = InvariantReport(ok=True)
+    av = np.flatnonzero(sim.alive)
+    a = int(av.size)
+    L = sim.cfg.succ_list_len
+    report.stats["alive"] = a
+    if a < 2:
+        _note(report, f"fewer than 2 alive peers ({a})")
+        return report
+
+    order = np.arange(a)
+    # 1a. successor lists == next L alive peers, cyclically
+    expected = np.empty((a, L), dtype=np.int64)
+    for j in range(L):
+        expected[:, j] = av[(order + 1 + j) % a]
+    actual = sim.succ[av]
+    bad_rows = np.flatnonzero((actual != expected).any(axis=1))
+    report.stats["succ_mismatch"] = int(bad_rows.size)
+    for r in bad_rows[:_MAX_VIOLATIONS].tolist():
+        _note(report, f"slot {av[r]}: succ list {actual[r].tolist()} != "
+                      f"expected {expected[r].tolist()}")
+
+    # 1b. predecessors == previous alive peer
+    expected_pred = av[(order - 1) % a]
+    bad_pred = np.flatnonzero(sim.pred[av] != expected_pred)
+    report.stats["pred_mismatch"] = int(bad_pred.size)
+    for r in bad_pred[:_MAX_VIOLATIONS].tolist():
+        _note(report, f"slot {av[r]}: pred {sim.pred[av[r]]} != "
+                      f"expected {expected_pred[r]}")
+
+    # 2. finger-table reachability
+    if fingers != "off":
+        fng = sim.fingers[av]
+        if fingers == "alive":
+            known = fng >= 0
+            dead_entries = known & ~sim.alive[np.maximum(fng, 0)]
+            n_bad = int(np.count_nonzero(dead_entries))
+            report.stats["finger_dead"] = n_bad
+            if n_bad:
+                rows, cols = np.nonzero(dead_entries)
+                for r, c in zip(rows[:_MAX_VIOLATIONS], cols):
+                    _note(report, f"slot {av[r]}: finger[{c}] = {fng[r, c]} "
+                                  "points at a dead peer")
+        else:
+            aids = sim.ids[av]
+            with np.errstate(over="ignore"):
+                targets = aids[:, None] + sim._powers[None, :]
+            truth = av[np.searchsorted(aids, targets, side="left") % a]
+            bad = fng != truth
+            n_bad = int(np.count_nonzero(bad))
+            report.stats["finger_mismatch"] = n_bad
+            if n_bad:
+                rows, cols = np.nonzero(bad)
+                for r, c in zip(rows[:_MAX_VIOLATIONS], cols):
+                    _note(report, f"slot {av[r]}: finger[{c}] = {fng[r, c]} "
+                                  f"!= true successor {truth[r, c]}")
+
+    # 3. key resolvability + replication degree
+    if keys is not None:
+        if sim.store is None:
+            raise ValueError("key invariants need with_keys=True state")
+        karr = np.asarray(list(keys), dtype=np.uint64)
+        owners = av[np.searchsorted(sim.ids[av], karr, side="left") % a]
+        lost = 0
+        degrees = []
+        R = sim.cfg.replication
+        for key, owner in zip(karr.tolist(), owners.tolist()):
+            pos = int(np.searchsorted(av, owner))
+            holders = [int(av[(pos + j) % a]) for j in range(min(R, a))]
+            degree = sum(1 for h in holders if key in sim.store[h])
+            degrees.append(degree)
+            if key not in sim.store[owner]:
+                lost += 1
+                _note(report, f"key {key}: not held by true owner {owner} "
+                              f"(replica degree {degree}/{min(R, a)})")
+        report.stats["keys_checked"] = int(karr.size)
+        report.stats["keys_lost"] = lost
+        report.stats["min_replication"] = min(degrees) if degrees else 0
+    return report

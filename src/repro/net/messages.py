@@ -1,0 +1,201 @@
+"""Message batches and the deterministic event log of :mod:`repro.net`.
+
+The simulator is *message-level*: every protocol interaction —
+stabilization, failure detection, routing, joins, departures — is a
+message with a source, a destination, and a delivery tick.  To keep
+10\\ :sup:`5`-peer rings feasible in pure numpy, messages are not
+objects: a :class:`MsgBatch` is a structure-of-arrays slice holding
+every message of one kind sent in one call, and the event loop delivers
+whole batches per tick (grouping by kind and concatenating columns)
+instead of popping messages one at a time.
+
+Column meaning is kind-dependent (documented on :class:`MsgKind`); the
+unused columns of a kind are zero.  The :class:`EventLog` chains a
+BLAKE2b digest over every delivered batch, which is what the
+determinism pin tests compare: same seed + same trace ⇒ the same
+digest, byte for byte, regardless of thread or worker settings.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MsgKind", "FindMode", "MsgBatch", "EventLog"]
+
+
+class MsgKind(enum.IntEnum):
+    """Protocol message kinds, in deterministic per-tick processing order.
+
+    Column usage (all other columns zero):
+
+    * ``GET_PRED`` — ``src`` asks ``dst`` (its successor) for ``dst``'s
+      predecessor and successor list (one stabilize round).
+    * ``PRED_REPLY`` — ``node`` is the replier's predecessor slot (or
+      -1), ``slist`` its successor list at reply time.
+    * ``NOTIFY`` — ``src`` proposes itself as ``dst``'s predecessor.
+    * ``PING`` — ``src`` probes ``dst`` (its predecessor); liveness is
+      signalled by the *absence* of a :attr:`NACK`.
+    * ``FIND_SUCC`` — one routing hop: ``target`` is the identifier
+      being resolved, ``node`` the requesting slot, ``hops`` the count
+      so far, ``mode`` a :class:`FindMode`, ``fk`` the finger column
+      (``FIX_FINGER`` mode), ``tag`` a caller correlation id.
+    * ``FOUND`` — resolution reply to the requester: ``node`` is the
+      owner slot; ``target``/``hops``/``mode``/``fk``/``tag`` echo the
+      request.
+    * ``NACK`` — timeout surrogate: a message sent to a dead peer
+      bounces back to its sender after ``timeout`` ticks; ``ok`` is the
+      original kind and the routing columns are preserved so a
+      ``FIND_SUCC`` can be retried around the failure.
+    * ``LEAVE_PRED`` — graceful departure notice to the predecessor;
+      ``node`` is the leaver's successor (the splice target).
+    * ``LEAVE_SUCC`` — graceful departure notice to the successor;
+      ``node`` is the leaver's predecessor.
+    * ``JOIN_SEED`` — the bootstrap's reply to a first-hop join:
+      ``slist`` carries the bootstrap plus its successor list as seed
+      contacts, guaranteeing the joiner a live successor candidate
+      even when routed resolution is temporarily impossible.
+    """
+
+    GET_PRED = 0
+    PRED_REPLY = 1
+    NOTIFY = 2
+    PING = 3
+    FIND_SUCC = 4
+    FOUND = 5
+    NACK = 6
+    LEAVE_PRED = 7
+    LEAVE_SUCC = 8
+    JOIN_SEED = 9
+
+
+class FindMode(enum.IntEnum):
+    """Why a ``FIND_SUCC`` was issued (dispatched on at ``FOUND`` time)."""
+
+    LOOKUP = 0
+    JOIN = 1
+    FIX_FINGER = 2
+    STORE = 3
+    ERASE = 4
+
+
+_INT_COLS = ("src", "dst", "node", "hops", "tag", "mode", "fk", "ok")
+
+
+@dataclass
+class MsgBatch:
+    """All messages of one kind emitted by one handler call.
+
+    ``target`` is uint64 (ring identifiers); every other column int64.
+    ``slist`` is an optional ``(M, L)`` successor-list payload
+    (``PRED_REPLY`` only).
+    """
+
+    kind: MsgKind
+    src: np.ndarray
+    dst: np.ndarray
+    target: np.ndarray | None = None
+    node: np.ndarray | None = None
+    hops: np.ndarray | None = None
+    tag: np.ndarray | None = None
+    mode: np.ndarray | None = None
+    fk: np.ndarray | None = None
+    ok: np.ndarray | None = None
+    slist: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        m = len(self.src)
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.target is None:
+            self.target = np.zeros(m, dtype=np.uint64)
+        else:
+            self.target = np.asarray(self.target, dtype=np.uint64)
+        for name in ("node", "hops", "tag", "mode", "fk", "ok"):
+            col = getattr(self, name)
+            col = (np.zeros(m, dtype=np.int64) if col is None
+                   else np.asarray(col, dtype=np.int64))
+            setattr(self, name, col)
+        if self.slist is not None:
+            self.slist = np.asarray(self.slist, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self.src.size)
+
+    def take(self, idx: np.ndarray) -> "MsgBatch":
+        """Row subset (fancy-index every column) as a new batch."""
+        return MsgBatch(
+            kind=self.kind,
+            src=self.src[idx],
+            dst=self.dst[idx],
+            target=self.target[idx],
+            node=self.node[idx],
+            hops=self.hops[idx],
+            tag=self.tag[idx],
+            mode=self.mode[idx],
+            fk=self.fk[idx],
+            ok=self.ok[idx],
+            slist=None if self.slist is None else self.slist[idx],
+        )
+
+    @staticmethod
+    def concat(batches: "list[MsgBatch]") -> "MsgBatch":
+        """Concatenate same-kind batches in list order (delivery order)."""
+        if len(batches) == 1:
+            return batches[0]
+        first = batches[0]
+        slist = None
+        if first.slist is not None:
+            slist = np.concatenate([b.slist for b in batches], axis=0)
+        return MsgBatch(
+            kind=first.kind,
+            src=np.concatenate([b.src for b in batches]),
+            dst=np.concatenate([b.dst for b in batches]),
+            target=np.concatenate([b.target for b in batches]),
+            node=np.concatenate([b.node for b in batches]),
+            hops=np.concatenate([b.hops for b in batches]),
+            tag=np.concatenate([b.tag for b in batches]),
+            mode=np.concatenate([b.mode for b in batches]),
+            fk=np.concatenate([b.fk for b in batches]),
+            ok=np.concatenate([b.ok for b in batches]),
+            slist=slist,
+        )
+
+
+class EventLog:
+    """Chained digest + per-kind counters over every delivered batch.
+
+    The digest is a platform-independent fingerprint of the entire
+    simulated execution: tick, kind, and the little-endian bytes of
+    every column of every delivered batch, chained through one BLAKE2b
+    state.  Two runs with equal digests delivered byte-identical
+    message streams in the same order.
+    """
+
+    def __init__(self) -> None:
+        self._h = hashlib.blake2b(digest_size=16)
+        self.counts: dict[str, int] = {k.name: 0 for k in MsgKind}
+        self.total = 0
+
+    def record(self, tick: int, batch: MsgBatch) -> None:
+        """Fold one delivered batch into the digest and counters."""
+        m = len(batch)
+        if m == 0:
+            return
+        self.counts[batch.kind.name] += m
+        self.total += m
+        h = self._h
+        h.update(int(tick).to_bytes(8, "little"))
+        h.update(int(batch.kind).to_bytes(1, "little"))
+        h.update(batch.target.astype("<u8", copy=False).tobytes())
+        for name in _INT_COLS:
+            h.update(getattr(batch, name).astype("<i8", copy=False).tobytes())
+        if batch.slist is not None:
+            h.update(batch.slist.astype("<i8", copy=False).tobytes())
+
+    def digest(self) -> str:
+        """Hex digest of everything recorded so far (state preserved)."""
+        return self._h.copy().hexdigest()

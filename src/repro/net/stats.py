@@ -1,0 +1,154 @@
+"""Metrics collected by the network simulator.
+
+:class:`NetMetrics` accumulates per-run protocol counters (joins,
+leaves, deaths, timeouts, NACKs), lookup hop samples, ring repair
+latencies, and failure counts.  Everything is a plain int or list of
+ints, so a metrics snapshot is deterministic, JSON-serializable, and
+byte-comparable across runs — the determinism pin serializes
+:meth:`NetMetrics.summary` next to the event-log digest.
+
+:func:`load_skew` measures key placement imbalance over the alive
+peers (the quantity the paper's load-balancing story is about), and
+:func:`emit_obs` mirrors a finished run into the :mod:`repro.obs`
+metrics registry for the observability pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+
+__all__ = ["NetMetrics", "load_skew", "emit_obs"]
+
+
+def _quantile(sorted_vals: list[int], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted sample (0 if empty)."""
+    if not sorted_vals:
+        return 0.0
+    pos = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return float(sorted_vals[pos])
+
+
+class NetMetrics:
+    """Mutable per-run counters and samples of one :class:`~repro.net.simulator.NetSim`."""
+
+    def __init__(self) -> None:
+        self.joins = 0
+        self.leaves = 0
+        self.deaths = 0
+        self.lookups_issued = 0
+        self.lookups_resolved = 0
+        self.failed_lookups = 0
+        self.failed_ops = 0
+        self.lost_puts = 0
+        self.nacks = 0
+        self.timeouts = 0
+        self.hop_samples: list[int] = []
+        self.resolve_ticks: list[int] = []
+        self.repair_latencies: list[int] = []
+        self.by_tag: dict[int, tuple[int, int]] = {}
+
+    def record_lookups(self, hops: np.ndarray, tick: int,
+                       tags=None, owners=None) -> None:
+        """Fold one batch of resolved lookups (hop counts at ``tick``).
+
+        Lookups issued with a non-negative ``tag`` also land in
+        :attr:`by_tag` as ``tag -> (owner_slot, hops)`` — the handle
+        the parity suite uses to compare individual lookups against
+        :meth:`repro.dht.chord.ChordRing.lookup`.
+        """
+        self.lookups_resolved += int(hops.size)
+        self.hop_samples.extend(int(h) for h in hops)
+        self.resolve_ticks.extend([int(tick)] * int(hops.size))
+        if tags is not None:
+            for t, o, h in zip(tags.tolist(), owners.tolist(), hops.tolist()):
+                if t >= 0:
+                    self.by_tag[int(t)] = (int(o), int(h))
+
+    def hop_stats(self) -> dict:
+        """Mean / max / p50 / p99 of the resolved-lookup hop counts."""
+        samples = sorted(self.hop_samples)
+        n = len(samples)
+        return {
+            "count": n,
+            "mean": float(sum(samples)) / n if n else 0.0,
+            "max": samples[-1] if n else 0,
+            "p50": _quantile(samples, 0.50),
+            "p99": _quantile(samples, 0.99),
+        }
+
+    def repair_stats(self) -> dict:
+        """Mean / max / p99 of ring repair latencies (ticks to re-splice)."""
+        samples = sorted(self.repair_latencies)
+        n = len(samples)
+        return {
+            "count": n,
+            "mean": float(sum(samples)) / n if n else 0.0,
+            "max": samples[-1] if n else 0,
+            "p99": _quantile(samples, 0.99),
+        }
+
+    def summary(self) -> dict:
+        """Deterministic JSON-ready snapshot of every counter and stat."""
+        return {
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "deaths": self.deaths,
+            "lookups_issued": self.lookups_issued,
+            "lookups_resolved": self.lookups_resolved,
+            "failed_lookups": self.failed_lookups,
+            "failed_ops": self.failed_ops,
+            "lost_puts": self.lost_puts,
+            "nacks": self.nacks,
+            "timeouts": self.timeouts,
+            "hops": self.hop_stats(),
+            "repair": self.repair_stats(),
+        }
+
+
+def load_skew(sim) -> dict:
+    """Key-load imbalance across the alive peers of ``sim``.
+
+    Returns total stored copies, mean and max per-peer counts, and the
+    ``max/mean`` skew ratio (1.0 = perfectly even, 0.0 when no keys).
+    Counts replicas as load — that is what a peer actually stores.
+    """
+    if sim.store is None:
+        return {"total": 0, "mean": 0.0, "max": 0, "skew": 0.0}
+    av = np.flatnonzero(sim.alive)
+    counts = np.array([len(sim.store[int(i)]) for i in av], dtype=np.int64)
+    total = int(counts.sum())
+    mean = total / av.size if av.size else 0.0
+    peak = int(counts.max()) if av.size else 0
+    return {
+        "total": total,
+        "mean": float(mean),
+        "max": peak,
+        "skew": float(peak / mean) if mean > 0 else 0.0,
+    }
+
+
+def emit_obs(sim, *, experiment: str = "net") -> None:
+    """Mirror a finished run's metrics into the :mod:`repro.obs` registry.
+
+    No-ops (cheaply) when observability is disabled, like every other
+    instrumented tier.
+    """
+    if not obs.enabled():
+        return
+    m = sim.metrics
+    labels = {"experiment": experiment}
+    for name in ("joins", "leaves", "deaths", "lookups_issued",
+                 "lookups_resolved", "failed_lookups", "failed_ops",
+                 "lost_puts", "nacks", "timeouts"):
+        obs.counter_add(f"net.{name}", getattr(m, name), **labels)
+    obs.counter_add("net.messages_delivered", sim.log.total, **labels)
+    for h in m.hop_samples:
+        obs.histogram_observe("net.lookup_hops", h, **labels)
+    for r in m.repair_latencies:
+        obs.histogram_observe("net.repair_latency_ticks", r, **labels)
+    skew = load_skew(sim)
+    obs.gauge_set("net.load_skew", skew["skew"], **labels)
+    obs.gauge_set("net.alive_peers", sim.alive_count, **labels)
+    obs.gauge_set("net.ticks", sim.tick, **labels)

@@ -10,69 +10,22 @@ series (max load, total load, live bins, ν-profiles, full snapshots).
 
 import numpy as np
 import pytest
+from helpers import assert_dynamics_equal as _assert_results_identical
+from helpers import build_space as _space
+from helpers import build_trace as _trace
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines.uniform import UniformSpace
 from repro.core.engine import run_sequential
-from repro.core.ring import RingSpace
 from repro.core.strategies import TieBreak
-from repro.core.torus import TorusSpace
 from repro.dynamics.engine import (
     mixed_conflict_prefix,
     run_batched_dynamic,
     run_sequential_dynamic,
     simulate_dynamics,
 )
-from repro.dynamics.events import (
-    adversarial_burst_trace,
-    churn_storm_trace,
-    poisson_trace,
-    steady_state_trace,
-)
+from repro.dynamics.events import churn_storm_trace, poisson_trace, steady_state_trace
 from repro.utils.rng import resolve_rng
-
-
-def _space(kind: str, n: int, seed: int):
-    if kind == "ring":
-        return RingSpace.random(n, seed=seed)
-    if kind == "torus":
-        return TorusSpace.random(n, dim=2, seed=seed)
-    return UniformSpace(n)
-
-
-def _trace(gen: str, n: int, m: int, policy: str, trace_seed: int):
-    if gen == "steady":
-        return steady_state_trace(m, pairs=m, policy=policy, epochs=3, seed=trace_seed)
-    if gen == "poisson":
-        return poisson_trace(3 * m, m, policy=policy, epochs=4, seed=trace_seed)
-    if gen == "bursts":
-        return adversarial_burst_trace(
-            m, max(1, m // 3), rounds=3, policy=policy, seed=trace_seed
-        )
-    return churn_storm_trace(
-        n,
-        m,
-        waves=2,
-        leave_fraction=0.3,
-        pairs_per_wave=max(1, m // 4),
-        policy=policy,
-        seed=trace_seed,
-    )
-
-
-def _assert_results_identical(a, b):
-    assert np.array_equal(a.loads, b.loads)
-    assert np.array_equal(a.active, b.active)
-    assert a.inserts == b.inserts and a.deletes == b.deletes
-    assert np.array_equal(a.max_load_over_time, b.max_load_over_time)
-    assert np.array_equal(a.total_load_over_time, b.total_load_over_time)
-    assert np.array_equal(a.live_bins_over_time, b.live_bins_over_time)
-    assert len(a.nu_profiles) == len(b.nu_profiles)
-    for x, y in zip(a.nu_profiles, b.nu_profiles):
-        assert np.array_equal(x, y)
-    for x, y in zip(a.load_snapshots, b.load_snapshots):
-        assert np.array_equal(x, y)
 
 
 @st.composite

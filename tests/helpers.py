@@ -1,0 +1,110 @@
+"""Shared builders and assertions for the repro test suites.
+
+The dynamics, serve, and net suites all drive seeded
+:class:`~repro.dynamics.events.EventTrace` churn through different
+engines and compare full result objects.  The builders and equality
+helpers here used to be copy-pasted per suite; they are collected once
+so a new trace family or result field is added in one place.
+
+Importable as a plain module (``import helpers``) because pytest puts
+the ``tests/`` conftest directory on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.uniform import UniformSpace
+from repro.core.ring import RingSpace
+from repro.core.torus import TorusSpace
+from repro.dynamics.events import (
+    adversarial_burst_trace,
+    churn_storm_trace,
+    poisson_trace,
+    steady_state_trace,
+)
+
+__all__ = [
+    "build_space",
+    "build_trace",
+    "named_scenarios",
+    "assert_dynamics_equal",
+]
+
+
+def build_space(kind: str, n: int, seed: int, *, dim: int = 2):
+    """A placement space by family name (``ring`` / ``torus`` / ``uniform``)."""
+    if kind == "ring":
+        return RingSpace.random(n, seed=seed)
+    if kind == "torus":
+        return TorusSpace.random(n, dim=dim, seed=seed)
+    return UniformSpace(n)
+
+
+def build_trace(gen: str, n: int, m: int, policy: str, trace_seed):
+    """A churn trace by family name, sized relative to ``n`` / ``m``.
+
+    ``steady``: fixed occupancy with delete/insert turnover;
+    ``poisson``: thinned M/M/∞ arrivals; ``bursts``: adversarial LIFO
+    storms; anything else: the bin churn storm (mass leave + rejoin).
+    """
+    if gen == "steady":
+        return steady_state_trace(m, pairs=m, policy=policy, epochs=3,
+                                  seed=trace_seed)
+    if gen == "poisson":
+        return poisson_trace(3 * m, m, policy=policy, epochs=4,
+                             seed=trace_seed)
+    if gen == "bursts":
+        return adversarial_burst_trace(
+            m, max(1, m // 3), rounds=3, policy=policy, seed=trace_seed
+        )
+    return churn_storm_trace(
+        n,
+        m,
+        waves=2,
+        leave_fraction=0.3,
+        pairs_per_wave=max(1, m // 4),
+        policy=policy,
+        seed=trace_seed,
+    )
+
+
+def named_scenarios():
+    """The three (name, space, trace) parity scenarios shared by suites.
+
+    One representative of each trace family over a ring, with fixed
+    seeds so every suite pins the same trajectories.
+    """
+    return [
+        ("steady", RingSpace.random(64, seed=0),
+         steady_state_trace(200, 150, policy="lifo", epochs=5, seed=1)),
+        ("burst", RingSpace.random(32, seed=2),
+         adversarial_burst_trace(100, 60, 4, seed=3)),
+        ("storm", RingSpace.random(32, seed=4),
+         churn_storm_trace(32, 120, waves=3, leave_fraction=0.25,
+                           pairs_per_wave=30, policy="fifo", seed=5)),
+    ]
+
+
+def assert_dynamics_equal(a, b) -> None:
+    """Exact equality of two dynamics/replay results, field by field.
+
+    Compares final loads, the active mask, insert/delete counts, every
+    per-epoch series, and ν-profiles.  Per-epoch load snapshots are
+    compared when both results carry them (the serve replay result
+    does not).
+    """
+    assert np.array_equal(a.loads, b.loads)
+    assert np.array_equal(a.active, b.active)
+    assert a.inserts == b.inserts and a.deletes == b.deletes
+    assert np.array_equal(a.max_load_over_time, b.max_load_over_time)
+    assert np.array_equal(a.total_load_over_time, b.total_load_over_time)
+    assert np.array_equal(a.live_bins_over_time, b.live_bins_over_time)
+    assert len(a.nu_profiles) == len(b.nu_profiles)
+    for x, y in zip(a.nu_profiles, b.nu_profiles):
+        assert np.array_equal(x, y)
+    snaps_a = getattr(a, "load_snapshots", None)
+    snaps_b = getattr(b, "load_snapshots", None)
+    if snaps_a is not None and snaps_b is not None:
+        for x, y in zip(snaps_a, snaps_b):
+            assert np.array_equal(x, y)

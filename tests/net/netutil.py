@@ -1,0 +1,91 @@
+"""Local helpers for the net-tier tests.
+
+The suites here drive :class:`repro.net.NetSim` directly (bounded
+schedules, parity rings) or through :func:`repro.net.run_trace`
+(storms); this module holds the shared knobs: a narrow-finger test
+config that keeps quiescence windows small, the settle window that
+guarantees a full fix-finger cycle, and the randomized *bounded*
+schedule runner behind the invariant harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net import NetConfig, NetSim, check_invariants
+from repro.utils.rng import resolve_rng, stable_hash_seed
+
+
+def small_config(**overrides) -> NetConfig:
+    """A :class:`NetConfig` sized for sub-second test rings.
+
+    16 finger columns are plenty for two-digit peer counts (lower
+    columns would all equal the successor) and shrink the fix-finger
+    cycle the quiescence settle window has to cover.
+    """
+    base = dict(n_fingers=16)
+    base.update(overrides)
+    return NetConfig(**base)
+
+
+def settle_ticks(cfg: NetConfig) -> int:
+    """Quiet window covering a full fix-finger cycle of every node."""
+    if cfg.fix_fingers_per_round > 0:
+        cycle = -(-cfg.n_fingers // cfg.fix_fingers_per_round)
+        return cfg.period * (cycle + 2)
+    return 3 * cfg.period
+
+
+def quiesce(sim: NetSim, max_ticks: int = 60_000) -> int:
+    """Run ``sim`` to quiescence with the finger-aware settle window."""
+    return sim.run_until_quiescent(max_ticks=max_ticks,
+                                   settle=settle_ticks(sim.cfg))
+
+
+def random_keys(rng, count: int) -> list[int]:
+    """``count`` random odd ring keys (node ids are even, so no clash)."""
+    draws = rng.integers(0, 1 << 62, size=count, dtype=np.int64)
+    return sorted({int(d) * 2 + 1 for d in draws.tolist()})
+
+
+def run_bounded_schedule(seed: int, *, n: int = 24, waves: int = 2,
+                         n_keys: int = 48):
+    """One randomized *bounded* churn schedule; returns (sim, keys, report).
+
+    Bounded means every wave stays inside the protocol's durability
+    envelope — at most ``replication - 1`` departures at once, with
+    stabilization quiescence between waves — so ring exactness AND
+    zero lost keys are hard guarantees, not best-effort outcomes.
+    Departures mix graceful leaves and abrupt kills by a seeded coin;
+    some corpses rejoin through a random alive bootstrap.
+    """
+    cfg = small_config()
+    sim = NetSim.stable(n, cfg=cfg, seed=stable_hash_seed(seed, "net-harness-ids"))
+    rng = resolve_rng(stable_hash_seed(seed, "net-harness"))
+    keys = random_keys(rng, n_keys)
+    sim.bootstrap_keys(keys)
+    dead: list[int] = []
+    for _ in range(waves):
+        departures = int(rng.integers(1, sim.cfg.replication))
+        av = np.flatnonzero(sim.alive)
+        victims = rng.choice(av, size=departures, replace=False)
+        kills = []
+        for v in victims.tolist():
+            if rng.random() < 0.5:
+                sim.leave(int(v))
+            else:
+                kills.append(int(v))
+        if kills:
+            sim.kill_many(kills)
+        dead.extend(int(v) for v in victims.tolist())
+        quiesce(sim)
+        rejoin = [s for s in dead if rng.random() < 0.5]
+        for slot in rejoin:
+            av = np.flatnonzero(sim.alive)
+            sim.join(slot, int(av[rng.integers(0, av.size)]))
+            dead.remove(slot)
+        if rejoin:
+            quiesce(sim)
+    quiesce(sim)
+    report = check_invariants(sim, keys=keys, fingers="exact")
+    return sim, keys, report

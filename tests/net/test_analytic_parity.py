@@ -1,0 +1,102 @@
+"""Parity: the message-level overlay vs the analytic Chord model.
+
+On a stable ring the simulator must be an *executable restatement* of
+:class:`repro.dht.chord.ChordRing`: both are built from the same
+identifier set (slot ``i`` = ``i``-th smallest id in both), every
+routed lookup must land on the same owner with the same hop count,
+the hop mean must sit near the ``~½·log₂ n`` analytic expectation,
+and the closest-preceding-finger hop bound must hold exactly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from netutil import quiesce
+
+from repro.dht.chord import ChordRing
+from repro.net import NetConfig, NetSim
+from repro.utils.rng import resolve_rng
+
+N_NODES = 64
+N_LOOKUPS = 256
+
+
+@pytest.fixture(scope="module")
+def stable_pair():
+    # full-width fingers so the routing tables are column-for-column
+    # the same structures the analytic model scans
+    sim = NetSim.stable(N_NODES, cfg=NetConfig(), seed=42)
+    ring = ChordRing(sim.ids)
+    return sim, ring
+
+
+@pytest.fixture(scope="module")
+def resolved(stable_pair):
+    sim, ring = stable_pair
+    rng = resolve_rng(99)
+    starts = rng.integers(0, N_NODES, size=N_LOOKUPS)
+    keys = rng.integers(0, 1 << 62, size=N_LOOKUPS,
+                        dtype=np.int64).astype(np.uint64) * np.uint64(2) \
+        + np.uint64(1)
+    sim.lookup_batch(starts, keys, tags=np.arange(N_LOOKUPS))
+    quiesce(sim)
+    return sim, ring, starts, keys
+
+
+class TestStableRingParity:
+    def test_every_lookup_matches_owner_and_hops(self, resolved):
+        sim, ring, starts, keys = resolved
+        assert len(sim.metrics.by_tag) == N_LOOKUPS
+        for tag in range(N_LOOKUPS):
+            ref = ring.lookup(int(keys[tag]), start_index=int(starts[tag]))
+            owner, hops = sim.metrics.by_tag[tag]
+            assert owner == ref.owner_index, f"lookup {tag}: wrong owner"
+            assert hops == ref.hops, f"lookup {tag}: hop count diverged"
+
+    def test_mean_hops_near_analytic(self, resolved):
+        sim, *_ = resolved
+        mean = sim.metrics.hop_stats()["mean"]
+        expected = 0.5 * math.log2(N_NODES)
+        assert abs(mean - expected) < 1.5
+
+    def test_max_hops_bound_exact(self, resolved):
+        # each closest-preceding-finger forwarding at least halves the
+        # clockwise distance on a converged table: <= log2 n + O(1)
+        sim, ring, starts, keys = resolved
+        observed = sim.metrics.hop_stats()["max"]
+        analytic = max(
+            ring.lookup(int(k), start_index=int(s)).hops
+            for s, k in zip(starts, keys)
+        )
+        assert observed == analytic
+        assert observed <= math.ceil(math.log2(N_NODES)) + 2
+
+    def test_no_failures_on_stable_ring(self, resolved):
+        sim, *_ = resolved
+        assert sim.metrics.lookups_resolved == N_LOOKUPS
+        assert sim.metrics.failed_lookups == 0
+        assert sim.metrics.nacks == 0
+
+    def test_one_hop_for_successor_owned_key(self):
+        sim = NetSim.stable(16, cfg=NetConfig(), seed=7)
+        succ = int(sim.succ[3, 0])
+        # a key in (id_3, id_succ] resolves at the successor in 1 hop
+        key = int(sim.ids[succ]) - 1
+        sim.lookup(3, key, tag=0)
+        quiesce(sim)
+        owner, hops = sim.metrics.by_tag[0]
+        assert owner == succ
+        assert hops == 1
+
+
+class TestFromIdsIndexing:
+    def test_slot_order_matches_chordring(self):
+        ids = [10, 200, 3000, 40_000, 500_000, 6_000_000]
+        sim = NetSim.from_ids(ids, cfg=NetConfig())
+        ring = ChordRing(np.array(ids, dtype=np.uint64))
+        assert np.array_equal(sim.ids, ring.node_ids)
+        sim.lookup(0, 201, tag=0)
+        quiesce(sim)
+        owner, _ = sim.metrics.by_tag[0]
+        assert owner == ring.lookup(201, start_index=0).owner_index == 2

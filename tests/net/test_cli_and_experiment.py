@@ -1,0 +1,76 @@
+"""The operator surface: ``net smoke`` CLI and the net_churn experiment.
+
+The CI ``net`` job keys off the smoke's exit code, so both the happy
+path (0) and the parser/verb plumbing are pinned here, along with the
+sweeps-layer experiment driver (cached cells, TextReport rendering)
+and its registration in the experiment registry.
+"""
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.net_churn import run as net_churn_run
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.run_all import DEFAULT_PLAN
+from repro.net.cli import build_parser, main as net_main
+
+
+class TestSmokeCli:
+    def test_small_smoke_exits_clean(self, capsys):
+        rc = net_main(["smoke", "--peers", "48", "--keys", "32",
+                       "--waves", "1", "--pairs", "4", "--lookups", "8",
+                       "--fingers", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "net smoke: 48 peers" in out
+        assert "invariants: ok" in out
+        assert "digest" in out
+
+    def test_fast_mode_smoke(self, capsys):
+        rc = net_main(["smoke", "--peers", "128", "--waves", "1",
+                       "--lookups", "8", "--fast"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "invariants: ok" in out
+
+    def test_check_off_skips_invariants(self, capsys):
+        rc = net_main(["smoke", "--peers", "32", "--keys", "8",
+                       "--waves", "1", "--pairs", "2", "--lookups", "4",
+                       "--fingers", "16", "--check", "off"])
+        assert rc == 0
+        assert "invariants: skipped" in capsys.readouterr().out
+
+    def test_parser_requires_a_verb(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_dispatch_token(self, capsys):
+        rc = experiments_main(["net", "smoke", "--peers", "32", "--keys", "8",
+                               "--waves", "1", "--pairs", "2",
+                               "--lookups", "4", "--fingers", "16"])
+        assert rc == 0
+        assert "net smoke: 32 peers" in capsys.readouterr().out
+
+
+class TestNetChurnExperiment:
+    def test_registered(self):
+        assert "net_churn" in list_experiments()
+        assert get_experiment("net_churn") is net_churn_run
+        assert "net_churn" in DEFAULT_PLAN
+
+    def test_report_renders_and_caches(self):
+        report = net_churn_run(peers_values=(48,), seed=3)
+        text = report.render()
+        assert "hops mean" in text
+        assert "ring exact" in text
+        assert 48 in report.data
+        payload = report.data[48]
+        assert payload["digest"]
+        assert payload["metrics"]["hops"]["count"] > 0
+        # second call hits the isolated sweep cache: same payload
+        again = net_churn_run(peers_values=(48,), seed=3)
+        assert again.data[48] == payload
+
+    def test_rejects_bad_peer_count(self):
+        with pytest.raises(ValueError):
+            net_churn_run(peers_values=(0,), seed=1)

@@ -1,0 +1,77 @@
+"""Determinism pin: one seed + one trace ⇒ one byte-exact outcome.
+
+The event log is a chained digest over every delivered message batch,
+so two runs agree on the digest only if they agreed on *every message
+of every tick*.  The pin has three layers: identical repeated runs in
+process, identical runs across worker processes regardless of the
+``REPRO_NUM_THREADS`` environment, and a golden digest literal that
+catches any unintentional protocol change (if a change is intentional,
+re-pin the literal and say so in the commit).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from netutil import small_config
+
+from repro.dynamics.events import churn_storm_trace
+from repro.net import run_trace
+
+GOLDEN_DIGEST = "a769888b94be7c71119b258ea3cba588"
+
+_REFERENCE_SNIPPET = """
+from repro.dynamics.events import churn_storm_trace
+from repro.net import NetConfig, run_trace
+trace = churn_storm_trace(24, 40, waves=2, leave_fraction=0.25,
+                          pairs_per_wave=6, policy="random", seed=11)
+result = run_trace(trace, cfg=NetConfig(n_fingers=16), seed=5,
+                   lookups_per_epoch=8, check="ring")
+print(result.digest)
+"""
+
+
+def _reference_trace():
+    return churn_storm_trace(24, 40, waves=2, leave_fraction=0.25,
+                             pairs_per_wave=6, policy="random", seed=11)
+
+
+def _reference_run():
+    return run_trace(_reference_trace(), cfg=small_config(), seed=5,
+                     lookups_per_epoch=8, check="ring")
+
+
+class TestDeterminism:
+    def test_repeated_runs_are_byte_identical(self):
+        a = _reference_run()
+        b = _reference_run()
+        assert a.digest == b.digest
+        assert json.dumps(a.to_payload(), sort_keys=True) \
+            == json.dumps(b.to_payload(), sort_keys=True)
+
+    def test_seed_changes_the_event_stream(self):
+        a = _reference_run()
+        b = run_trace(_reference_trace(), cfg=small_config(), seed=6,
+                      lookups_per_epoch=8, check="ring")
+        assert a.digest != b.digest
+
+    def test_golden_digest(self):
+        assert _reference_run().digest == GOLDEN_DIGEST
+
+    @pytest.mark.parametrize("threads", ["1", "4"])
+    def test_digest_independent_of_worker_env(self, threads, tmp_path):
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        env = dict(os.environ, REPRO_NUM_THREADS=threads)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", _REFERENCE_SNIPPET],
+            capture_output=True, text=True, env=env, cwd=tmp_path, timeout=300,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == GOLDEN_DIGEST

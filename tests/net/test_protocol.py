@@ -1,0 +1,202 @@
+"""Unit tests of the protocol surface: handshakes, keys, config, log.
+
+The harness and parity suites check converged outcomes; these pin the
+individual moves — join/leave/kill semantics and their error paths,
+routed puts/erases with replication, timeout/NACK failure detection,
+and the chained event-log digest the determinism pin builds on.
+"""
+
+import numpy as np
+import pytest
+from netutil import quiesce, random_keys, small_config
+
+from repro.net import (
+    EventLog,
+    MsgBatch,
+    MsgKind,
+    NetConfig,
+    NetSim,
+    check_invariants,
+    load_skew,
+)
+from repro.utils.rng import resolve_rng
+
+
+class TestConfigValidation:
+    def test_replication_must_fit_successor_list(self):
+        with pytest.raises(ValueError, match="replication"):
+            NetConfig(succ_list_len=2, replication=4)
+
+    def test_finger_width_bounds(self):
+        with pytest.raises(ValueError, match="n_fingers"):
+            NetConfig(n_fingers=0)
+        with pytest.raises(ValueError, match="n_fingers"):
+            NetConfig(n_fingers=65)
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            NetConfig(fix_fingers_per_round=-1)
+        with pytest.raises(ValueError):
+            NetConfig(self_check_every=-1)
+
+    def test_slot_ids_must_be_sorted_and_distinct(self):
+        with pytest.raises(ValueError, match="ascending"):
+            NetSim([4, 2, 6])
+        with pytest.raises(ValueError, match="distinct"):
+            NetSim([2, 2, 6])
+        with pytest.raises(ValueError, match="2 slots"):
+            NetSim([2])
+
+
+class TestMembership:
+    def test_kill_then_quiesce_splices_the_ring(self):
+        sim = NetSim.stable(16, cfg=small_config(), seed=1)
+        sim.kill(5)
+        quiesce(sim)
+        check_invariants(sim, fingers="exact").raise_if_failed()
+        assert sim.metrics.deaths == 1
+        assert len(sim.metrics.repair_latencies) == 1
+        assert sim.metrics.repair_latencies[0] > 0
+
+    def test_graceful_leave_hands_keys_to_successor(self):
+        sim = NetSim.stable(16, cfg=small_config(), seed=2)
+        keys = random_keys(resolve_rng(3), 32)
+        sim.bootstrap_keys(keys)
+        victim = 8
+        owned = sim._owned_keys(victim)
+        succ = int(sim.succ[victim, 0])
+        sim.leave(victim)
+        quiesce(sim)
+        check_invariants(sim, keys=keys, fingers="exact").raise_if_failed()
+        assert all(k in sim.store[succ] for k in owned)
+        assert sim.metrics.leaves == 1
+        # graceful departures never count as repairs
+        assert sim.metrics.repair_latencies == []
+
+    def test_rejoin_after_death_restores_membership_and_keys(self):
+        sim = NetSim.stable(16, cfg=small_config(), seed=4)
+        keys = random_keys(resolve_rng(5), 32)
+        sim.bootstrap_keys(keys)
+        sim.kill(3)
+        quiesce(sim)
+        sim.join(3, bootstrap=11)
+        quiesce(sim)
+        report = check_invariants(sim, keys=keys, fingers="exact")
+        report.raise_if_failed()
+        assert report.stats["keys_lost"] == 0
+        assert sim.metrics.joins == 1
+
+    def test_membership_error_paths(self):
+        sim = NetSim.stable(4, cfg=small_config(), seed=6)
+        with pytest.raises(ValueError, match="alive"):
+            sim.join(0, bootstrap=1)
+        sim.kill(0)
+        with pytest.raises(ValueError, match="dead"):
+            sim.kill(0)
+        with pytest.raises(ValueError, match="dead"):
+            sim.join(0, bootstrap=0)
+        sim.kill(1)
+        with pytest.raises(ValueError, match="below 2"):
+            sim.kill(2)
+        with pytest.raises(ValueError, match="below 2"):
+            sim.kill_many([2])
+        with pytest.raises(ValueError, match="already dead"):
+            sim.kill_many([1, 2])
+
+    def test_wave_kill_within_replication_bound_loses_nothing(self):
+        sim = NetSim.stable(24, cfg=small_config(), seed=7)
+        keys = random_keys(resolve_rng(8), 48)
+        sim.bootstrap_keys(keys)
+        sim.kill_many([4, 5])  # replication 3 tolerates 2 at once
+        quiesce(sim)
+        report = check_invariants(sim, keys=keys, fingers="exact")
+        report.raise_if_failed()
+        assert report.stats["keys_lost"] == 0
+        assert len(sim.metrics.repair_latencies) == 2
+
+
+class TestKeyTraffic:
+    def test_routed_put_replicates_and_erase_removes(self):
+        sim = NetSim.stable(16, cfg=small_config(), seed=9)
+        key = 12345
+        sim.put_key(2, key)
+        quiesce(sim)
+        holders = [s for s in range(sim.S) if key in sim.store[s]]
+        assert len(holders) == sim.cfg.replication
+        sim.erase_key(9, key)
+        quiesce(sim)
+        assert all(key not in sim.store[s] for s in range(sim.S))
+
+    def test_key_apis_require_with_keys(self):
+        sim = NetSim.stable(8, cfg=small_config(with_keys=False), seed=10)
+        with pytest.raises(ValueError, match="with_keys"):
+            sim.put_key(0, 1)
+        with pytest.raises(ValueError, match="with_keys"):
+            sim.erase_key(0, 1)
+        with pytest.raises(ValueError, match="with_keys"):
+            sim.bootstrap_keys([1])
+        with pytest.raises(ValueError, match="with_keys"):
+            check_invariants(sim, keys=[1])
+        assert load_skew(sim) == {"total": 0, "mean": 0.0, "max": 0,
+                                  "skew": 0.0}
+
+    def test_lookup_requires_alive_start(self):
+        sim = NetSim.stable(8, cfg=small_config(), seed=11)
+        sim.kill(2)
+        with pytest.raises(ValueError, match="alive"):
+            sim.lookup(2, 7)
+
+    def test_load_skew_counts_replicas(self):
+        sim = NetSim.stable(8, cfg=small_config(), seed=12)
+        keys = random_keys(resolve_rng(13), 16)
+        sim.bootstrap_keys(keys)
+        skew = load_skew(sim)
+        assert skew["total"] == len(keys) * sim.cfg.replication
+        assert skew["skew"] >= 1.0
+
+
+class TestFailureDetection:
+    def test_lookup_through_corpse_times_out_and_reroutes(self):
+        sim = NetSim.stable(32, cfg=small_config(), seed=14)
+        # kill without letting anyone stabilize, then immediately route
+        # traffic: forwarding must hit the corpse, NACK, and reroute
+        sim.kill_many([10, 11])
+        rng = resolve_rng(15)
+        keys = np.asarray(random_keys(rng, 16), dtype=np.uint64)
+        starts = np.array(
+            [s for s in range(32) if sim.alive[s]][: keys.size]
+        )
+        sim.lookup_batch(starts, keys[: starts.size])
+        quiesce(sim)
+        assert sim.metrics.lookups_resolved + sim.metrics.failed_lookups \
+            == sim.metrics.lookups_issued
+        # the corpses were discovered by timeout, not by announcement
+        assert sim.metrics.timeouts > 0
+        check_invariants(sim, fingers="exact").raise_if_failed()
+
+
+class TestEventLog:
+    def test_digest_chains_over_every_batch(self):
+        log = EventLog()
+        empty = log.digest()
+        batch = MsgBatch(kind=MsgKind.PING,
+                         src=np.array([0]), dst=np.array([1]))
+        log.record(0, batch)
+        one = log.digest()
+        log.record(1, batch)
+        assert len({empty, one, log.digest()}) == 3
+        assert log.total == 2
+        assert log.counts[MsgKind.PING.name] == 2
+
+    def test_identical_histories_share_a_digest(self):
+        a, b = EventLog(), EventLog()
+        batch = MsgBatch(kind=MsgKind.PING,
+                         src=np.array([3]), dst=np.array([4]))
+        a.record(5, batch)
+        b.record(5, batch)
+        assert a.digest() == b.digest()
+        b2 = MsgBatch(kind=MsgKind.PING, src=np.array([3]),
+                      dst=np.array([5]))
+        b.record(6, b2)
+        a.record(6, batch)
+        assert a.digest() != b.digest()

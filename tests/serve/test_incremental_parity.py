@@ -6,45 +6,17 @@ AND per-epoch trajectories bit-identical to
 size, backend, and across a mid-trace checkpoint/restore.
 """
 
-import numpy as np
 import pytest
+from helpers import assert_dynamics_equal as _assert_matches
+from helpers import named_scenarios as _traces
 
 from repro.core.ring import RingSpace
 from repro.dynamics import simulate_dynamics
-from repro.dynamics.events import (
-    adversarial_burst_trace,
-    churn_storm_trace,
-    steady_state_trace,
-)
+from repro.dynamics.events import churn_storm_trace, steady_state_trace
 from repro.kernels import available_backends
 from repro.serve import replay_trace
 
 BACKENDS = [name for name, ok in available_backends().items() if ok]
-
-
-def _traces():
-    return [
-        ("steady", RingSpace.random(64, seed=0),
-         steady_state_trace(200, 150, policy="lifo", epochs=5, seed=1)),
-        ("burst", RingSpace.random(32, seed=2),
-         adversarial_burst_trace(100, 60, 4, seed=3)),
-        ("storm", RingSpace.random(32, seed=4),
-         churn_storm_trace(32, 120, waves=3, leave_fraction=0.25,
-                           pairs_per_wave=30, policy="fifo", seed=5)),
-    ]
-
-
-def _assert_matches(result, ref):
-    assert np.array_equal(result.loads, ref.loads)
-    assert np.array_equal(result.active, ref.active)
-    assert result.inserts == ref.inserts
-    assert result.deletes == ref.deletes
-    assert np.array_equal(result.max_load_over_time, ref.max_load_over_time)
-    assert np.array_equal(result.total_load_over_time, ref.total_load_over_time)
-    assert np.array_equal(result.live_bins_over_time, ref.live_bins_over_time)
-    assert len(result.nu_profiles) == len(ref.nu_profiles)
-    for mine, theirs in zip(result.nu_profiles, ref.nu_profiles):
-        assert np.array_equal(mine, theirs)
 
 
 class TestReplayParity:

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.stats",
     "repro.sweeps",
     "repro.experiments",
+    "repro.net",
     "repro.serve",
     "repro.utils",
 ]

@@ -10,7 +10,7 @@ Two independent checks, both stdlib-only so they run anywhere:
 2. **Docstring coverage** — every module, public class, and public
    function/method in the :data:`DOCSTRING_PACKAGES` public APIs
    (currently ``repro.sweeps``, ``repro.kernels``, ``repro.obs``,
-   ``repro.core`` and ``repro.serve``) must carry a
+   ``repro.core``, ``repro.serve`` and ``repro.net``) must carry a
    docstring (the pydocstyle D1xx family, implemented via ``ast`` so
    no third-party dependency is needed).
 
@@ -37,6 +37,7 @@ DOCSTRING_PACKAGES = (
     "src/repro/obs",
     "src/repro/core",
     "src/repro/serve",
+    "src/repro/net",
 )
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
